@@ -1,0 +1,92 @@
+//! BP-file microbenchmarks: write throughput and the merged-vs-unmerged
+//! read gap on real files (the laptop-scale Fig. 11 kernel).
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use apps::PixieWorld;
+use bpio::{BpReader, BpWriter};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bpio-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.bp", std::process::id()))
+}
+
+/// Write the same 32³-per-rank, 8-rank dataset in both layouts.
+fn write_both() -> (PathBuf, PathBuf) {
+    let world = PixieWorld::new([2, 2, 2], [16, 16, 16]);
+    let unmerged = tmp("unmerged");
+    let mut w = BpWriter::create(&unmerged).unwrap();
+    for r in 0..world.n_ranks() {
+        w.append_pg(&world.output_pg(r)).unwrap();
+    }
+    w.finish().unwrap();
+
+    // "Merged": one writer emitting whole global arrays.
+    let merged = tmp("merged");
+    let big = PixieWorld::new([1, 1, 1], [32, 32, 32]);
+    let mut w = BpWriter::create(&merged).unwrap();
+    w.append_pg(&big.output_pg(0)).unwrap();
+    w.finish().unwrap();
+    (unmerged, merged)
+}
+
+fn bench_write(c: &mut Criterion) {
+    let world = PixieWorld::new([2, 2, 2], [16, 16, 16]);
+    let pgs: Vec<_> = (0..world.n_ranks()).map(|r| world.output_pg(r)).collect();
+    let bytes: usize = pgs.iter().map(|p| p.payload_bytes()).sum();
+    let mut g = c.benchmark_group("bp_write");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("eight_rank_dump", |b| {
+        let path = tmp("writebench");
+        b.iter(|| {
+            let mut w = BpWriter::create(&path).unwrap();
+            for pg in &pgs {
+                w.append_pg(pg).unwrap();
+            }
+            black_box(w.finish().unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_read_layouts(c: &mut Criterion) {
+    let (unmerged, merged) = write_both();
+    let mut g = c.benchmark_group("bp_read_global_rho");
+    g.throughput(Throughput::Bytes(32 * 32 * 32 * 8));
+    g.bench_function("unmerged_8_chunks", |b| {
+        b.iter(|| {
+            let mut r = BpReader::open(&unmerged).unwrap();
+            black_box(r.read_global("rho", 0).unwrap())
+        })
+    });
+    g.bench_function("merged_1_chunk", |b| {
+        b.iter(|| {
+            let mut r = BpReader::open(&merged).unwrap();
+            black_box(r.read_global("rho", 0).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_read_box(c: &mut Criterion) {
+    let (unmerged, _) = write_both();
+    let mut g = c.benchmark_group("bp_read_box");
+    g.throughput(Throughput::Bytes(8 * 8 * 8 * 8));
+    g.bench_function("interior_8cubed", |b| {
+        b.iter(|| {
+            let mut r = BpReader::open(&unmerged).unwrap();
+            black_box(r.read_box("rho", 0, &[12, 12, 12], &[8, 8, 8]).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_write, bench_read_layouts, bench_read_box
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! DataSpaces microbenchmarks: put, get, and reduction query throughput
+//! over a 2-D particle-index-shaped domain.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use bpio::DataArray;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataspaces::{DataSpaces, DsConfig, Reduction, Region};
+
+fn space() -> DataSpaces {
+    DataSpaces::new(DsConfig::new(vec![4096, 64], vec![128, 8], 8))
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataspaces_put");
+    for rows in [256u64, 4096] {
+        let region = Region::new(vec![0, 0], vec![rows, 64]);
+        let data = DataArray::F64(vec![1.0; (rows * 64) as usize]);
+        g.throughput(Throughput::Bytes(rows * 64 * 8));
+        g.bench_with_input(BenchmarkId::new("region_rows", rows), &data, |b, data| {
+            let ds = space();
+            let mut v = 0;
+            b.iter(|| {
+                ds.put("f", v, &region, data.clone()).unwrap();
+                v += 1;
+                black_box(v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataspaces_get");
+    let ds = space();
+    let whole = Region::whole(&[4096, 64]);
+    ds.put("f", 0, &whole, DataArray::F64(vec![2.0; 4096 * 64]))
+        .unwrap();
+    ds.commit("f", 0);
+    for rows in [64u64, 1024] {
+        let q = Region::new(vec![128, 0], vec![rows, 64]);
+        g.throughput(Throughput::Bytes(rows * 64 * 8));
+        g.bench_with_input(BenchmarkId::new("region_rows", rows), &q, |b, q| {
+            b.iter(|| black_box(ds.get("f", 0, q, Duration::from_secs(1)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataspaces_reduce");
+    let ds = space();
+    let whole = Region::whole(&[4096, 64]);
+    ds.put("f", 0, &whole, DataArray::F64(vec![3.0; 4096 * 64]))
+        .unwrap();
+    ds.commit("f", 0);
+    g.throughput(Throughput::Elements(4096 * 64));
+    g.bench_function("max_whole_domain", |b| {
+        b.iter(|| {
+            black_box(
+                ds.reduce("f", 0, &whole, Reduction::Max, Duration::from_secs(1))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_put, bench_get, bench_reduce
+}
+criterion_main!(benches);

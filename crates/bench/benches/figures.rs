@@ -1,0 +1,40 @@
+//! `cargo bench figures` — runs the scenario model behind every paper
+//! figure under Criterion, so regressions in the machine model's cost
+//! (which would silently skew the reproduced figures) show up as bench
+//! deltas. The printable tables come from the `fig7..fig11` binaries.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predata_bench::{gtc_config, pixie_config};
+use simhec::{Placement, StagedRun};
+
+fn bench_fig7_fig8_gtc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_gtc");
+    for cores in [512usize, 16_384] {
+        g.bench_with_input(BenchmarkId::new("in_compute", cores), &cores, |b, &n| {
+            b.iter(|| black_box(StagedRun::run(&gtc_config(n, Placement::InComputeNode))))
+        });
+        g.bench_with_input(BenchmarkId::new("staging", cores), &cores, |b, &n| {
+            b.iter(|| black_box(StagedRun::run(&gtc_config(n, Placement::Staging))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_pixie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_pixie");
+    for cores in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("staging", cores), &cores, |b, &n| {
+            b.iter(|| black_box(StagedRun::run(&pixie_config(n, Placement::Staging))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7_fig8_gtc, bench_fig10_pixie
+}
+criterion_main!(benches);

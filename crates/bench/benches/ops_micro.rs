@@ -1,0 +1,129 @@
+//! Criterion microbenchmarks of the PreDatA operators: per-byte costs of
+//! the map phase for sort bucketing, histograms, re-organization
+//! splitting, and bitmap index construction. These are the functional
+//! counterparts of the `OpCosts` throughput constants used by the
+//! machine model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use predata_core::agg::Aggregates;
+use predata_core::op::{OpCtx, StreamOp};
+use predata_core::ops::{BitmapIndex, Histogram2dOp, HistogramOp, ReorgOp, SortOp};
+use predata_core::schema::make_particle_pg;
+use predata_core::PackedChunk;
+use std::hint::black_box;
+
+fn particle_chunk(n: usize) -> PackedChunk {
+    let rows: Vec<f64> = (0..n)
+        .flat_map(|i| {
+            let x = (i as f64 * 0.61) % std::f64::consts::TAU;
+            vec![
+                x,
+                x * 0.5,
+                0.1,
+                x - 3.0,
+                x * 0.25,
+                1.0,
+                (i % 16) as f64,
+                i as f64,
+            ]
+        })
+        .collect();
+    PackedChunk::new(make_particle_pg(0, 0, rows))
+}
+
+fn with_ctx<R>(f: impl FnOnce(&OpCtx) -> R) -> R {
+    let (_world, mut comms) = minimpi::World::with_size(1);
+    let comm = comms.remove(0);
+    let dir = std::env::temp_dir();
+    let ctx = OpCtx {
+        comm: &comm,
+        out_dir: &dir,
+        step: 0,
+        n_compute: 16,
+        agg: None,
+    };
+    f(&ctx)
+}
+
+fn stats_attrs() -> Aggregates {
+    let mut a = ffs::AttrList::new();
+    for n in predata_core::schema::PARTICLE_ATTRS {
+        a.set(format!("min_{n}"), ffs::Value::F64(-10.0));
+        a.set(format!("max_{n}"), ffs::Value::F64(10.0));
+    }
+    a.set("np", ffs::Value::U64(1));
+    Aggregates::local_only(&[(0, a)])
+}
+
+fn bench_map_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("op_map_phase");
+    for n in [10_000usize, 100_000] {
+        let chunk = particle_chunk(n);
+        let bytes = (n * 64) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("sort_bucketing", n), &chunk, |b, chunk| {
+            with_ctx(|ctx| {
+                let mut op = SortOp::new();
+                op.initialize(&stats_attrs(), ctx);
+                b.iter(|| black_box(op.map(chunk, ctx)));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("histogram", n), &chunk, |b, chunk| {
+            with_ctx(|ctx| {
+                let mut op = HistogramOp::new(vec![0, 3], 64);
+                op.initialize(&stats_attrs(), ctx);
+                b.iter(|| black_box(op.map(chunk, ctx)));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("histogram2d", n), &chunk, |b, chunk| {
+            with_ctx(|ctx| {
+                let mut op = Histogram2dOp::new(vec![(0, 3)], 32);
+                op.initialize(&stats_attrs(), ctx);
+                b.iter(|| black_box(op.map(chunk, ctx)));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_index");
+    for n in [10_000usize, 100_000] {
+        let values: Vec<f64> = (0..n).map(|i| ((i as f64 * 0.37).sin()) * 5.0).collect();
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("build", n), &values, |b, v| {
+            b.iter(|| black_box(BitmapIndex::build(v.iter().copied(), -5.0, 5.0, 32)))
+        });
+        let idx = BitmapIndex::build(values.iter().copied(), -5.0, 5.0, 32);
+        g.bench_with_input(BenchmarkId::new("range_query", n), &idx, |b, idx| {
+            b.iter(|| black_box(idx.query(-1.0, 1.0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reorg_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorg");
+    let world = apps::PixieWorld::new([2, 2, 2], [16, 16, 16]);
+    let chunk = PackedChunk::new(world.output_pg(3));
+    g.throughput(Throughput::Bytes(16 * 16 * 16 * 8 * 8));
+    g.bench_function("map_split_16cubed_x8fields", |b| {
+        with_ctx(|ctx| {
+            let mut op = ReorgOp::pixie3d();
+            let mut a = ffs::AttrList::new();
+            a.set("gx", ffs::Value::U64(32));
+            a.set("gy", ffs::Value::U64(32));
+            a.set("gz", ffs::Value::U64(32));
+            op.initialize(&Aggregates::local_only(&[(0, a)]), ctx);
+            b.iter(|| black_box(op.map(&chunk, ctx)));
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_map_phase, bench_bitmap, bench_reorg_split
+}
+criterion_main!(benches);

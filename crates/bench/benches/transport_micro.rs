@@ -1,0 +1,97 @@
+//! Transport microbenchmarks: the expose → request → pull → complete
+//! cycle, chunk packing, and policy ordering cost.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffs::AttrList;
+use predata_core::schema::make_particle_pg;
+use predata_core::PackedChunk;
+use transport::{Fabric, FetchRequest, LargestFirstPolicy, PullPolicy};
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_pack");
+    for n in [1_000usize, 50_000] {
+        let chunk = PackedChunk::new(make_particle_pg(0, 0, vec![1.5; n * 8]));
+        let bytes = (n * 64) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("pack", n), &chunk, |b, chunk| {
+            b.iter(|| black_box(chunk.pack().unwrap()))
+        });
+        let buf = chunk.pack().unwrap();
+        g.bench_with_input(BenchmarkId::new("unpack", n), &buf, |b, buf| {
+            b.iter(|| black_box(PackedChunk::unpack(buf).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rdma_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    for kb in [4usize, 1024] {
+        let payload: Arc<[u8]> = vec![0u8; kb * 1024].into();
+        g.throughput(Throughput::Bytes((kb * 1024) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("expose_request_pull", kb),
+            &payload,
+            |b, payload| {
+                let (_f, computes, stagings) = Fabric::new(1, 1, None);
+                b.iter(|| {
+                    let h = computes[0].expose(Arc::clone(payload), 0).unwrap();
+                    computes[0]
+                        .send_request(
+                            0,
+                            FetchRequest {
+                                src_rank: 0,
+                                io_step: 0,
+                                handle: h,
+                                chunk_bytes: payload.len(),
+                                format: 0,
+                                attrs: AttrList::new(),
+                            },
+                        )
+                        .unwrap();
+                    let req = stagings[0].recv_request(Duration::from_secs(1)).unwrap();
+                    let data = stagings[0].rdma_get(&req).unwrap();
+                    computes[0].wait_completion(Duration::from_secs(1)).unwrap();
+                    black_box(data)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_policy_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pull_policy");
+    let reqs: Vec<FetchRequest> = {
+        let (_f, computes, _s) = Fabric::new(1, 1, None);
+        (0..256)
+            .map(|i| FetchRequest {
+                src_rank: i,
+                io_step: 0,
+                handle: computes[0].expose(vec![0u8; 8].into(), 0).unwrap(),
+                chunk_bytes: (i * 37) % 1024 + 1,
+                format: 0,
+                attrs: AttrList::new(),
+            })
+            .collect()
+    };
+    g.bench_function("largest_first_order_256", |b| {
+        b.iter(|| {
+            let mut pending = reqs.clone();
+            LargestFirstPolicy.order(&mut pending);
+            black_box(pending.first().map(|r| r.chunk_bytes))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pack_unpack, bench_rdma_cycle, bench_policy_ordering
+}
+criterion_main!(benches);

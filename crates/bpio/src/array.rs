@@ -1,0 +1,525 @@
+//! Typed data arrays and N-dimensional box arithmetic.
+//!
+//! All arrays are row-major (C order): the last dimension is contiguous.
+//! These helpers are shared by the writer (chunk encode), reader (global
+//! assembly), and the PreDatA re-organization operator (chunk merging).
+
+use crate::dtype::Dtype;
+use crate::error::{BpError, Result};
+
+/// An owned, typed 1-D buffer holding the elements of an N-D array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataArray {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+}
+
+impl DataArray {
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            DataArray::F32(_) => Dtype::F32,
+            DataArray::F64(_) => Dtype::F64,
+            DataArray::I32(_) => Dtype::I32,
+            DataArray::I64(_) => Dtype::I64,
+            DataArray::U32(_) => Dtype::U32,
+            DataArray::U64(_) => Dtype::U64,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            DataArray::F32(v) => v.len(),
+            DataArray::F64(v) => v.len(),
+            DataArray::I32(v) => v.len(),
+            DataArray::I64(v) => v.len(),
+            DataArray::U32(v) => v.len(),
+            DataArray::U64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn byte_len(&self) -> usize {
+        self.len() * self.dtype().size()
+    }
+
+    /// Zero-filled array of `n` elements.
+    pub fn zeros(dtype: Dtype, n: usize) -> DataArray {
+        match dtype {
+            Dtype::F32 => DataArray::F32(vec![0.0; n]),
+            Dtype::F64 => DataArray::F64(vec![0.0; n]),
+            Dtype::I32 => DataArray::I32(vec![0; n]),
+            Dtype::I64 => DataArray::I64(vec![0; n]),
+            Dtype::U32 => DataArray::U32(vec![0; n]),
+            Dtype::U64 => DataArray::U64(vec![0; n]),
+        }
+    }
+
+    /// Little-endian payload bytes.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        match self {
+            DataArray::F32(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::F64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::I32(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::I64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::U32(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            DataArray::U64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        }
+        out
+    }
+
+    /// Decode from little-endian payload bytes.
+    pub fn from_le_bytes(dtype: Dtype, bytes: &[u8]) -> Result<DataArray> {
+        if !bytes.len().is_multiple_of(dtype.size()) {
+            return Err(BpError::Corrupt("payload not a multiple of element size"));
+        }
+        let n = bytes.len() / dtype.size();
+        Ok(match dtype {
+            Dtype::F32 => DataArray::F32(
+                (0..n)
+                    .map(|i| f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap()))
+                    .collect(),
+            ),
+            Dtype::F64 => DataArray::F64(
+                (0..n)
+                    .map(|i| f64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()))
+                    .collect(),
+            ),
+            Dtype::I32 => DataArray::I32(
+                (0..n)
+                    .map(|i| i32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap()))
+                    .collect(),
+            ),
+            Dtype::I64 => DataArray::I64(
+                (0..n)
+                    .map(|i| i64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()))
+                    .collect(),
+            ),
+            Dtype::U32 => DataArray::U32(
+                (0..n)
+                    .map(|i| u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap()))
+                    .collect(),
+            ),
+            Dtype::U64 => DataArray::U64(
+                (0..n)
+                    .map(|i| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()))
+                    .collect(),
+            ),
+        })
+    }
+
+    /// (min, max) of the elements, widened to f64 — the per-chunk
+    /// characteristics stored in the footer index. Empty arrays give None.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        fn mm<T: Copy + PartialOrd, F: Fn(T) -> f64>(v: &[T], to: F) -> Option<(f64, f64)> {
+            if v.is_empty() {
+                return None;
+            }
+            let mut lo = v[0];
+            let mut hi = v[0];
+            for &x in &v[1..] {
+                if x < lo {
+                    lo = x;
+                }
+                if x > hi {
+                    hi = x;
+                }
+            }
+            Some((to(lo), to(hi)))
+        }
+        match self {
+            DataArray::F32(v) => mm(v, |x| x as f64),
+            DataArray::F64(v) => mm(v, |x| x),
+            DataArray::I32(v) => mm(v, |x| x as f64),
+            DataArray::I64(v) => mm(v, |x| x as f64),
+            DataArray::U32(v) => mm(v, |x| x as f64),
+            DataArray::U64(v) => mm(v, |x| x as f64),
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            DataArray::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<&[u64]> {
+        match self {
+            DataArray::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Element count of a box with the given extents.
+pub fn linear_len(extents: &[u64]) -> u64 {
+    extents.iter().product()
+}
+
+/// Row-major linear index of `coord` within a box of `extents`.
+pub fn box_to_linear(coord: &[u64], extents: &[u64]) -> u64 {
+    debug_assert_eq!(coord.len(), extents.len());
+    let mut idx = 0;
+    for (c, e) in coord.iter().zip(extents) {
+        debug_assert!(c < e);
+        idx = idx * e + c;
+    }
+    idx
+}
+
+/// Copy a row-major chunk (`src`, occupying the box at `offset` with
+/// `extents`) into the right places of a row-major global buffer
+/// (`dst`, with `global` extents). Copies are done per contiguous
+/// last-dimension run, the same access pattern a real reorganizer uses.
+///
+/// Returns the number of contiguous runs copied (1 when the chunk spans
+/// whole rows of the global array — the merged-layout fast path).
+pub fn copy_box(
+    src: &DataArray,
+    dst: &mut DataArray,
+    offset: &[u64],
+    extents: &[u64],
+    global: &[u64],
+) -> Result<u64> {
+    let ndim = global.len();
+    if offset.len() != ndim || extents.len() != ndim {
+        return Err(BpError::Corrupt("dimension rank mismatch in copy_box"));
+    }
+    for d in 0..ndim {
+        if offset[d] + extents[d] > global[d] {
+            return Err(BpError::OutOfBounds { var: String::new() });
+        }
+    }
+    let n_src = linear_len(extents);
+    if src.len() as u64 != n_src || dst.len() as u64 != linear_len(global) {
+        return Err(BpError::Corrupt("buffer length mismatch in copy_box"));
+    }
+    if n_src == 0 {
+        return Ok(0);
+    }
+
+    // Degenerate 0-d / full-cover fast path.
+    let row = extents[ndim - 1] as usize; // contiguous run length
+    let n_rows = (n_src / extents[ndim - 1]).max(1);
+
+    macro_rules! do_copy {
+        ($s:expr, $d:expr) => {{
+            let mut runs = 0u64;
+            let mut coord = vec![0u64; ndim - 1]; // iterate all but last dim
+            for r in 0..n_rows {
+                // Global coordinate of this run's first element.
+                let mut gcoord = Vec::with_capacity(ndim);
+                for d in 0..ndim - 1 {
+                    gcoord.push(offset[d] + coord[d]);
+                }
+                gcoord.push(offset[ndim - 1]);
+                let dst_start = box_to_linear(&gcoord, global) as usize;
+                let src_start = r as usize * row;
+                $d[dst_start..dst_start + row].copy_from_slice(&$s[src_start..src_start + row]);
+                runs += 1;
+                // Odometer increment over extents[0..ndim-1].
+                for d in (0..ndim - 1).rev() {
+                    coord[d] += 1;
+                    if coord[d] < extents[d] {
+                        break;
+                    }
+                    coord[d] = 0;
+                }
+            }
+            runs
+        }};
+    }
+
+    let runs = match (src, dst) {
+        (DataArray::F32(s), DataArray::F32(d)) => do_copy!(s, d),
+        (DataArray::F64(s), DataArray::F64(d)) => do_copy!(s, d),
+        (DataArray::I32(s), DataArray::I32(d)) => do_copy!(s, d),
+        (DataArray::I64(s), DataArray::I64(d)) => do_copy!(s, d),
+        (DataArray::U32(s), DataArray::U32(d)) => do_copy!(s, d),
+        (DataArray::U64(s), DataArray::U64(d)) => do_copy!(s, d),
+        (s, d) => {
+            return Err(BpError::DtypeMismatch {
+                var: String::new(),
+                expected: d.dtype().name(),
+                got: s.dtype().name(),
+            })
+        }
+    };
+    Ok(runs)
+}
+
+/// Copy the box `isect` (given in global coordinates) from a row-major
+/// `src` buffer occupying box (`src_corner`, `src_extent`) into a
+/// row-major `dst` buffer occupying (`dst_corner`, `dst_extent`).
+/// `isect` must lie within both boxes. Returns contiguous runs copied.
+#[allow(clippy::too_many_arguments)]
+pub fn copy_box_between(
+    src: &DataArray,
+    src_corner: &[u64],
+    src_extent: &[u64],
+    dst: &mut DataArray,
+    dst_corner: &[u64],
+    dst_extent: &[u64],
+    isect_corner: &[u64],
+    isect_extent: &[u64],
+) -> Result<u64> {
+    let ndim = isect_corner.len();
+    if [
+        src_corner.len(),
+        src_extent.len(),
+        dst_corner.len(),
+        dst_extent.len(),
+        isect_extent.len(),
+    ]
+    .iter()
+    .any(|&l| l != ndim)
+    {
+        return Err(BpError::Corrupt("rank mismatch in copy_box_between"));
+    }
+    for d in 0..ndim {
+        let lo = isect_corner[d];
+        let hi = lo + isect_extent[d];
+        if lo < src_corner[d]
+            || hi > src_corner[d] + src_extent[d]
+            || lo < dst_corner[d]
+            || hi > dst_corner[d] + dst_extent[d]
+        {
+            return Err(BpError::OutOfBounds { var: String::new() });
+        }
+    }
+    let n = linear_len(isect_extent);
+    if n == 0 {
+        return Ok(0);
+    }
+    let row = isect_extent[ndim - 1] as usize;
+    let n_rows = (n / isect_extent[ndim - 1]).max(1);
+
+    macro_rules! go {
+        ($s:expr, $d:expr) => {{
+            let mut runs = 0u64;
+            let mut coord = vec![0u64; ndim - 1];
+            for _ in 0..n_rows {
+                let gcoord: Vec<u64> = (0..ndim)
+                    .map(|d| {
+                        if d < ndim - 1 {
+                            isect_corner[d] + coord[d]
+                        } else {
+                            isect_corner[d]
+                        }
+                    })
+                    .collect();
+                let s_idx: Vec<u64> = (0..ndim).map(|d| gcoord[d] - src_corner[d]).collect();
+                let d_idx: Vec<u64> = (0..ndim).map(|d| gcoord[d] - dst_corner[d]).collect();
+                let s0 = box_to_linear(&s_idx, src_extent) as usize;
+                let d0 = box_to_linear(&d_idx, dst_extent) as usize;
+                $d[d0..d0 + row].copy_from_slice(&$s[s0..s0 + row]);
+                runs += 1;
+                for d in (0..ndim - 1).rev() {
+                    coord[d] += 1;
+                    if coord[d] < isect_extent[d] {
+                        break;
+                    }
+                    coord[d] = 0;
+                }
+            }
+            runs
+        }};
+    }
+
+    match (src, dst) {
+        (DataArray::F32(s), DataArray::F32(d)) => Ok(go!(s, d)),
+        (DataArray::F64(s), DataArray::F64(d)) => Ok(go!(s, d)),
+        (DataArray::I32(s), DataArray::I32(d)) => Ok(go!(s, d)),
+        (DataArray::I64(s), DataArray::I64(d)) => Ok(go!(s, d)),
+        (DataArray::U32(s), DataArray::U32(d)) => Ok(go!(s, d)),
+        (DataArray::U64(s), DataArray::U64(d)) => Ok(go!(s, d)),
+        (s, d) => Err(BpError::DtypeMismatch {
+            var: String::new(),
+            expected: d.dtype().name(),
+            got: s.dtype().name(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_bytes_roundtrip_all_dtypes() {
+        let arrays = [
+            DataArray::F32(vec![1.5, -2.5]),
+            DataArray::F64(vec![1.0e300, -0.5]),
+            DataArray::I32(vec![i32::MIN, 7]),
+            DataArray::I64(vec![i64::MAX, -1]),
+            DataArray::U32(vec![0, u32::MAX]),
+            DataArray::U64(vec![u64::MAX, 42]),
+        ];
+        for a in arrays {
+            let bytes = a.to_le_bytes();
+            let back = DataArray::from_le_bytes(a.dtype(), &bytes).unwrap();
+            assert_eq!(a, back);
+        }
+    }
+
+    #[test]
+    fn from_le_rejects_ragged() {
+        assert!(DataArray::from_le_bytes(Dtype::F64, &[0u8; 12]).is_err());
+    }
+
+    #[test]
+    fn min_max_characteristics() {
+        assert_eq!(
+            DataArray::F64(vec![3.0, -1.0, 2.0]).min_max(),
+            Some((-1.0, 3.0))
+        );
+        assert_eq!(DataArray::U32(vec![]).min_max(), None);
+        assert_eq!(DataArray::I64(vec![5]).min_max(), Some((5.0, 5.0)));
+    }
+
+    #[test]
+    fn linear_index_row_major() {
+        // 2x3 array: (1,2) → 1*3+2 = 5
+        assert_eq!(box_to_linear(&[1, 2], &[2, 3]), 5);
+        assert_eq!(box_to_linear(&[0, 0, 0], &[4, 4, 4]), 0);
+        assert_eq!(box_to_linear(&[3, 3, 3], &[4, 4, 4]), 63);
+    }
+
+    #[test]
+    fn copy_box_2d_quadrants() {
+        // Assemble a 4x4 global from four 2x2 chunks.
+        let mut global = DataArray::zeros(Dtype::I32, 16);
+        let mk = |v: i32| DataArray::I32(vec![v; 4]);
+        for (v, off) in [(1, [0, 0]), (2, [0, 2]), (3, [2, 0]), (4, [2, 2])] {
+            let runs = copy_box(&mk(v), &mut global, &off, &[2, 2], &[4, 4]).unwrap();
+            assert_eq!(runs, 2); // two rows per 2x2 chunk
+        }
+        let DataArray::I32(g) = global else {
+            unreachable!()
+        };
+        #[rustfmt::skip]
+        assert_eq!(g, vec![
+            1, 1, 2, 2,
+            1, 1, 2, 2,
+            3, 3, 4, 4,
+            3, 3, 4, 4,
+        ]);
+    }
+
+    #[test]
+    fn copy_box_full_width_is_single_runs_per_row() {
+        // A chunk spanning entire rows: run length = global row.
+        let chunk = DataArray::U64((0..8).collect());
+        let mut global = DataArray::zeros(Dtype::U64, 16);
+        let runs = copy_box(&chunk, &mut global, &[2, 0], &[2, 4], &[4, 4]).unwrap();
+        assert_eq!(runs, 2);
+        let DataArray::U64(g) = global else {
+            unreachable!()
+        };
+        assert_eq!(&g[8..], &(0..8).collect::<Vec<u64>>()[..]);
+    }
+
+    #[test]
+    fn copy_box_3d() {
+        // 2x2x2 chunk into 2x2x4 global at offset (0,0,2).
+        let chunk = DataArray::F64((0..8).map(|x| x as f64).collect());
+        let mut global = DataArray::zeros(Dtype::F64, 16);
+        copy_box(&chunk, &mut global, &[0, 0, 2], &[2, 2, 2], &[2, 2, 4]).unwrap();
+        let DataArray::F64(g) = global else {
+            unreachable!()
+        };
+        // Element (i,j,k) of chunk lands at linear ((i*2)+j)*4 + (k+2).
+        assert_eq!(g[2], 0.0 + 0.0); // (0,0,2) ← chunk (0,0,0)=0
+        assert_eq!(g[3], 1.0); // (0,0,3) ← chunk 1
+        assert_eq!(g[6], 2.0); // (0,1,2) ← chunk 2
+        assert_eq!(g[15], 7.0); // (1,1,3) ← chunk 7
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[4], 0.0);
+    }
+
+    #[test]
+    fn copy_box_bounds_checked() {
+        let chunk = DataArray::I32(vec![0; 4]);
+        let mut global = DataArray::zeros(Dtype::I32, 16);
+        assert!(matches!(
+            copy_box(&chunk, &mut global, &[3, 3], &[2, 2], &[4, 4]),
+            Err(BpError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_box_between_partial_overlap() {
+        // src box at (2,2) 4x4 holding 1..16; dst box at (0,0) 6x6 zeros;
+        // copy the intersection (4,4)..(6,6).
+        let src = DataArray::I32((1..=16).collect());
+        let mut dst = DataArray::zeros(Dtype::I32, 36);
+        let runs = copy_box_between(
+            &src,
+            &[2, 2],
+            &[4, 4],
+            &mut dst,
+            &[0, 0],
+            &[6, 6],
+            &[4, 4],
+            &[2, 2],
+        )
+        .unwrap();
+        assert_eq!(runs, 2);
+        let DataArray::I32(d) = dst else {
+            unreachable!()
+        };
+        // src element at global (4,4) = local (2,2) = idx 2*4+2 = 10 → value 11.
+        assert_eq!(d[4 * 6 + 4], 11);
+        assert_eq!(d[4 * 6 + 5], 12);
+        assert_eq!(d[5 * 6 + 4], 15);
+        assert_eq!(d[5 * 6 + 5], 16);
+        assert_eq!(d.iter().filter(|&&x| x != 0).count(), 4);
+    }
+
+    #[test]
+    fn copy_box_between_bounds_checked() {
+        let src = DataArray::U64(vec![0; 4]);
+        let mut dst = DataArray::zeros(Dtype::U64, 4);
+        assert!(copy_box_between(
+            &src,
+            &[0, 0],
+            &[2, 2],
+            &mut dst,
+            &[0, 0],
+            &[2, 2],
+            &[1, 1],
+            &[2, 2], // exceeds both boxes
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn copy_box_dtype_checked() {
+        let chunk = DataArray::F32(vec![0.0; 4]);
+        let mut global = DataArray::zeros(Dtype::F64, 16);
+        assert!(matches!(
+            copy_box(&chunk, &mut global, &[0, 0], &[2, 2], &[4, 4]),
+            Err(BpError::DtypeMismatch { .. })
+        ));
+    }
+}

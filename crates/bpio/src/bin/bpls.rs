@@ -1,0 +1,112 @@
+//! `bpls` — list the contents of BP-like files, after ADIOS' tool of the
+//! same name.
+//!
+//! ```text
+//! bpls <file.bp> [file2.bp …]      # variables, steps, chunk layout
+//! bpls -v <file.bp>                # per-chunk detail with min/max
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use bpio::{BpReader, VarEntry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "-v");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if files.is_empty() {
+        eprintln!("usage: bpls [-v] <file.bp> [more.bp …]");
+        std::process::exit(2);
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut status = 0;
+    for f in files {
+        match list(f, verbose) {
+            // A broken pipe (e.g. `bpls … | head`) is a normal exit.
+            Ok(text) => {
+                if out.write_all(text.as_bytes()).is_err() {
+                    std::process::exit(status);
+                }
+            }
+            Err(e) => {
+                eprintln!("bpls: {f}: {e}");
+                status = 1;
+            }
+        }
+    }
+    std::process::exit(status);
+}
+
+fn dims(d: &[u64]) -> String {
+    if d.is_empty() {
+        "scalar".to_string()
+    } else {
+        d.iter().map(u64::to_string).collect::<Vec<_>>().join("x")
+    }
+}
+
+fn list(path: &str, verbose: bool) -> bpio::Result<String> {
+    use std::fmt::Write as _;
+    let reader = BpReader::open(path)?;
+    let idx = reader.index();
+    let steps = idx.steps();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} process groups, {} steps {:?}",
+        idx.pgs.len(),
+        steps.len(),
+        steps
+    );
+    for (n, v) in &idx.attrs {
+        let _ = writeln!(out, "  @{n} = {v}");
+    }
+
+    // Group variable occurrences by name.
+    let mut by_var: BTreeMap<&str, Vec<&VarEntry>> = BTreeMap::new();
+    for v in &idx.vars {
+        by_var.entry(v.name.as_str()).or_default().push(v);
+    }
+    for (name, entries) in by_var {
+        let first = entries[0];
+        let kind = if first.global.is_empty() && first.local.is_empty() {
+            "scalar".to_string()
+        } else if first.global.is_empty() {
+            format!("local  {}", dims(&first.local))
+        } else {
+            format!("global {}", dims(&first.global))
+        };
+        let bytes: u64 = entries.iter().map(|e| e.payload_len).sum();
+        let lo = entries.iter().map(|e| e.min).fold(f64::INFINITY, f64::min);
+        let hi = entries
+            .iter()
+            .map(|e| e.max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let _ = writeln!(
+            out,
+            "  {:4} {:<20} {:<22} {:>4} chunks {:>12} B  min {lo:.6e}  max {hi:.6e}",
+            first.dtype.name(),
+            name,
+            kind,
+            entries.len(),
+            bytes,
+        );
+        if verbose {
+            for e in entries {
+                let _ = writeln!(
+                    out,
+                    "       step {:>3}  writer {:>4}  local {:<12} offset {:<12} @{:>10}+{}",
+                    e.step,
+                    e.writer_rank,
+                    dims(&e.local),
+                    dims(&e.offset_in_global),
+                    e.file_offset,
+                    e.payload_len
+                );
+            }
+        }
+    }
+    Ok(out)
+}

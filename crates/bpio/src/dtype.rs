@@ -1,0 +1,78 @@
+//! Element types of BP variables.
+
+/// Numeric element types supported by the BP-like format. (ADIOS supports
+//  more; these are the ones GTC and Pixie3D output.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    F32,
+    F64,
+    I32,
+    I64,
+    U32,
+    U64,
+}
+
+impl Dtype {
+    /// Element size in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            Dtype::F32 | Dtype::I32 | Dtype::U32 => 4,
+            Dtype::F64 | Dtype::I64 | Dtype::U64 => 8,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+            Dtype::I32 => "i32",
+            Dtype::I64 => "i64",
+            Dtype::U32 => "u32",
+            Dtype::U64 => "u64",
+        }
+    }
+
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Dtype::F32 => 0,
+            Dtype::F64 => 1,
+            Dtype::I32 => 2,
+            Dtype::I64 => 3,
+            Dtype::U32 => 4,
+            Dtype::U64 => 5,
+        }
+    }
+
+    pub(crate) fn from_tag(t: u8) -> Option<Self> {
+        Some(match t {
+            0 => Dtype::F32,
+            1 => Dtype::F64,
+            2 => Dtype::I32,
+            3 => Dtype::I64,
+            4 => Dtype::U32,
+            5 => Dtype::U64,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_tags_roundtrip() {
+        for d in [
+            Dtype::F32,
+            Dtype::F64,
+            Dtype::I32,
+            Dtype::I64,
+            Dtype::U32,
+            Dtype::U64,
+        ] {
+            assert_eq!(Dtype::from_tag(d.tag()), Some(d));
+            assert!(d.size() == 4 || d.size() == 8);
+        }
+        assert_eq!(Dtype::from_tag(99), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, BpError>;
+
+/// Errors from group declaration, writing, or reading BP-like files.
+#[derive(Debug)]
+pub enum BpError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// Group declared two variables with one name.
+    DuplicateVar(String),
+    /// Write/read referenced a variable not in the group.
+    NoSuchVar(String),
+    /// Supplied data does not match the declared dtype.
+    DtypeMismatch {
+        var: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Supplied data length does not match declared dimensions.
+    ShapeMismatch {
+        var: String,
+        expected: u64,
+        got: u64,
+    },
+    /// A chunk's offsets+extents exceed the global bounds.
+    OutOfBounds { var: String },
+    /// Global-array chunks for a step do not tile the global box
+    /// (holes or overlaps detected on read).
+    IncompleteTiling {
+        var: String,
+        step: u64,
+        covered: u64,
+        expected: u64,
+    },
+    /// File structure is damaged or not a BP-like file.
+    Corrupt(&'static str),
+    /// Requested (var, step) combination is absent.
+    NotFound { var: String, step: u64 },
+    /// Declaration is invalid (e.g. global array without offsets).
+    BadDecl(String),
+}
+
+impl fmt::Display for BpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpError::Io(e) => write!(f, "I/O error: {e}"),
+            BpError::DuplicateVar(v) => write!(f, "duplicate variable `{v}`"),
+            BpError::NoSuchVar(v) => write!(f, "no variable `{v}` in group"),
+            BpError::DtypeMismatch { var, expected, got } => {
+                write!(f, "variable `{var}`: expected {expected}, got {got}")
+            }
+            BpError::ShapeMismatch { var, expected, got } => {
+                write!(
+                    f,
+                    "variable `{var}`: dims give {expected} elements, data has {got}"
+                )
+            }
+            BpError::OutOfBounds { var } => {
+                write!(f, "variable `{var}`: chunk exceeds global bounds")
+            }
+            BpError::IncompleteTiling {
+                var,
+                step,
+                covered,
+                expected,
+            } => write!(
+                f,
+                "variable `{var}` step {step}: chunks cover {covered} of {expected} elements"
+            ),
+            BpError::Corrupt(what) => write!(f, "corrupt BP-like file: {what}"),
+            BpError::NotFound { var, step } => {
+                write!(f, "variable `{var}` has no data at step {step}")
+            }
+            BpError::BadDecl(why) => write!(f, "invalid declaration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BpError {
+    fn from(e: std::io::Error) -> Self {
+        BpError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        let e = BpError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "x"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("I/O error"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Process groups: one writer's output for one step.
+
+use std::collections::HashMap;
+
+use crate::array::{linear_len, DataArray};
+use crate::dtype::Dtype;
+use crate::error::{BpError, Result};
+use crate::group::{GroupDef, VarKind};
+use crate::util::{R, W};
+
+/// One variable's realized data inside a process group: resolved dims,
+/// offsets (for global chunks) and the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgVar {
+    pub name: String,
+    pub dtype: Dtype,
+    /// Resolved local extents ([] for scalars).
+    pub local: Vec<u64>,
+    /// Resolved global extents ([] unless a global chunk).
+    pub global: Vec<u64>,
+    /// Resolved offsets ([] unless a global chunk).
+    pub offset: Vec<u64>,
+    pub data: DataArray,
+}
+
+/// One writer's output for one step, buildable incrementally and
+/// encodable as one contiguous block (what travels to staging or to disk).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessGroup {
+    pub group: String,
+    pub writer_rank: u64,
+    pub step: u64,
+    pub vars: Vec<PgVar>,
+}
+
+impl ProcessGroup {
+    pub fn new(group: &str, writer_rank: u64, step: u64) -> Self {
+        ProcessGroup {
+            group: group.to_string(),
+            writer_rank,
+            step,
+            vars: Vec::new(),
+        }
+    }
+
+    /// Validate `data` for `var` against the group declaration (dtype,
+    /// resolved shape, bounds) and append it. Scalar dimension variables
+    /// must be written before the arrays they size.
+    pub fn write(&mut self, def: &GroupDef, var: &str, data: DataArray) -> Result<()> {
+        let vd = def
+            .var(var)
+            .ok_or_else(|| BpError::NoSuchVar(var.to_string()))?;
+        if vd.dtype != data.dtype() {
+            return Err(BpError::DtypeMismatch {
+                var: var.to_string(),
+                expected: vd.dtype.name(),
+                got: data.dtype().name(),
+            });
+        }
+        let scalars = self.scalar_values();
+        let (local, global, offset) = match &vd.kind {
+            VarKind::Scalar => {
+                if data.len() != 1 {
+                    return Err(BpError::ShapeMismatch {
+                        var: var.to_string(),
+                        expected: 1,
+                        got: data.len() as u64,
+                    });
+                }
+                (vec![], vec![], vec![])
+            }
+            VarKind::Local { dims } => {
+                let local = def.resolve_dims(dims, &scalars)?;
+                let expect = linear_len(&local);
+                if data.len() as u64 != expect {
+                    return Err(BpError::ShapeMismatch {
+                        var: var.to_string(),
+                        expected: expect,
+                        got: data.len() as u64,
+                    });
+                }
+                (local, vec![], vec![])
+            }
+            VarKind::GlobalChunk {
+                global,
+                local,
+                offset,
+            } => {
+                let g = def.resolve_dims(global, &scalars)?;
+                let l = def.resolve_dims(local, &scalars)?;
+                let o = def.resolve_dims(offset, &scalars)?;
+                let expect = linear_len(&l);
+                if data.len() as u64 != expect {
+                    return Err(BpError::ShapeMismatch {
+                        var: var.to_string(),
+                        expected: expect,
+                        got: data.len() as u64,
+                    });
+                }
+                for d in 0..g.len() {
+                    if o[d] + l[d] > g[d] {
+                        return Err(BpError::OutOfBounds {
+                            var: var.to_string(),
+                        });
+                    }
+                }
+                (l, g, o)
+            }
+        };
+        self.vars.push(PgVar {
+            name: var.to_string(),
+            dtype: vd.dtype,
+            local,
+            global,
+            offset,
+            data,
+        });
+        Ok(())
+    }
+
+    /// Integer scalar values written so far (for dimension resolution).
+    pub fn scalar_values(&self) -> HashMap<String, u64> {
+        let mut m = HashMap::new();
+        for v in &self.vars {
+            if v.local.is_empty() && v.global.is_empty() {
+                let val = match &v.data {
+                    DataArray::I32(x) => Some(x[0] as u64),
+                    DataArray::I64(x) => Some(x[0] as u64),
+                    DataArray::U32(x) => Some(x[0] as u64),
+                    DataArray::U64(x) => Some(x[0]),
+                    _ => None,
+                };
+                if let Some(val) = val {
+                    m.insert(v.name.clone(), val);
+                }
+            }
+        }
+        m
+    }
+
+    pub fn var(&self, name: &str) -> Option<&PgVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Total payload bytes across variables.
+    pub fn payload_bytes(&self) -> usize {
+        self.vars.iter().map(|v| v.data.byte_len()).sum()
+    }
+
+    /// Encode as one contiguous block (the on-disk / on-wire PG form).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_indexed().0
+    }
+
+    /// Encode, also returning each variable's payload byte offset within
+    /// the block — the writer records these in the footer index.
+    pub fn encode_indexed(&self) -> (Vec<u8>, Vec<u64>) {
+        let mut w = W::new();
+        let mut offsets = Vec::with_capacity(self.vars.len());
+        w.s(&self.group);
+        w.u64(self.writer_rank);
+        w.u64(self.step);
+        w.u32(self.vars.len() as u32);
+        for v in &self.vars {
+            w.s(&v.name);
+            w.u8(v.dtype.tag());
+            w.dims(&v.local);
+            w.dims(&v.global);
+            w.dims(&v.offset);
+            let payload = v.data.to_le_bytes();
+            w.u64(payload.len() as u64);
+            offsets.push(w.0.len() as u64);
+            w.0.extend_from_slice(&payload);
+        }
+        (w.0, offsets)
+    }
+
+    /// Decode a block produced by [`ProcessGroup::encode`].
+    pub fn decode(buf: &[u8]) -> Result<ProcessGroup> {
+        let mut r = R::new(buf);
+        let group = r.s()?;
+        let writer_rank = r.u64()?;
+        let step = r.u64()?;
+        let nvars = r.u32()? as usize;
+        let mut vars = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let name = r.s()?;
+            let dtype = Dtype::from_tag(r.u8()?).ok_or(BpError::Corrupt("bad dtype tag"))?;
+            let local = r.dims()?;
+            let global = r.dims()?;
+            let offset = r.dims()?;
+            let plen = r.u64()? as usize;
+            let data = DataArray::from_le_bytes(dtype, r.take(plen)?)?;
+            vars.push(PgVar {
+                name,
+                dtype,
+                local,
+                global,
+                offset,
+                data,
+            });
+        }
+        Ok(ProcessGroup {
+            group,
+            writer_rank,
+            step,
+            vars,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{Dim, VarDef};
+
+    fn grid_group() -> GroupDef {
+        GroupDef::new(
+            "grid",
+            vec![
+                VarDef::scalar("n", Dtype::U64),
+                VarDef::scalar("off", Dtype::U64),
+                VarDef::global_chunk(
+                    "field",
+                    Dtype::F64,
+                    vec![Dim::c(16)],
+                    vec![Dim::r("n")],
+                    vec![Dim::r("off")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_validates_and_resolves() {
+        let g = grid_group();
+        let mut pg = ProcessGroup::new("grid", 2, 0);
+        pg.write(&g, "n", DataArray::U64(vec![4])).unwrap();
+        pg.write(&g, "off", DataArray::U64(vec![8])).unwrap();
+        pg.write(&g, "field", DataArray::F64(vec![1.0; 4])).unwrap();
+        let v = pg.var("field").unwrap();
+        assert_eq!(v.local, vec![4]);
+        assert_eq!(v.global, vec![16]);
+        assert_eq!(v.offset, vec![8]);
+        assert_eq!(pg.payload_bytes(), 8 + 8 + 32);
+    }
+
+    #[test]
+    fn write_rejects_wrong_shape_and_bounds() {
+        let g = grid_group();
+        let mut pg = ProcessGroup::new("grid", 0, 0);
+        pg.write(&g, "n", DataArray::U64(vec![4])).unwrap();
+        pg.write(&g, "off", DataArray::U64(vec![14])).unwrap();
+        assert!(matches!(
+            pg.write(&g, "field", DataArray::F64(vec![0.0; 3])),
+            Err(BpError::ShapeMismatch { .. })
+        ));
+        // 14 + 4 > 16
+        assert!(matches!(
+            pg.write(&g, "field", DataArray::F64(vec![0.0; 4])),
+            Err(BpError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn write_rejects_wrong_dtype_and_unknown_var() {
+        let g = grid_group();
+        let mut pg = ProcessGroup::new("grid", 0, 0);
+        assert!(matches!(
+            pg.write(&g, "n", DataArray::F64(vec![1.0])),
+            Err(BpError::DtypeMismatch { .. })
+        ));
+        assert!(matches!(
+            pg.write(&g, "ghost", DataArray::U64(vec![0])),
+            Err(BpError::NoSuchVar(_))
+        ));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let g = grid_group();
+        let mut pg = ProcessGroup::new("grid", 7, 3);
+        pg.write(&g, "n", DataArray::U64(vec![2])).unwrap();
+        pg.write(&g, "off", DataArray::U64(vec![0])).unwrap();
+        pg.write(&g, "field", DataArray::F64(vec![0.5, -0.5]))
+            .unwrap();
+        let buf = pg.encode();
+        let back = ProcessGroup::decode(&buf).unwrap();
+        assert_eq!(back, pg);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let g = grid_group();
+        let mut pg = ProcessGroup::new("grid", 0, 0);
+        pg.write(&g, "n", DataArray::U64(vec![0])).unwrap();
+        let buf = pg.encode();
+        for cut in [1usize, buf.len() / 2, buf.len() - 1] {
+            assert!(ProcessGroup::decode(&buf[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the BP-like format: arbitrary tilings of a global
+//! array round-trip through files, and any `read_box` equals a naive
+//! slice of the assembled array.
+
+use std::path::PathBuf;
+
+use bpio::{BpReader, BpWriter, DataArray, Dim, Dtype, GroupDef, ProcessGroup, VarDef};
+use proptest::prelude::*;
+
+const G: [u64; 2] = [24, 16];
+
+fn tmp(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("bpio-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("p{}-{tag}.bp", std::process::id()))
+}
+
+fn group() -> GroupDef {
+    GroupDef::new(
+        "g",
+        vec![
+            VarDef::scalar("o0", Dtype::U64),
+            VarDef::scalar("o1", Dtype::U64),
+            VarDef::scalar("l0", Dtype::U64),
+            VarDef::scalar("l1", Dtype::U64),
+            VarDef::global_chunk(
+                "a",
+                Dtype::F64,
+                vec![Dim::c(G[0]), Dim::c(G[1])],
+                vec![Dim::r("l0"), Dim::r("l1")],
+                vec![Dim::r("o0"), Dim::r("o1")],
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+/// Value of the global array at (i, j): its global linear index.
+fn val(i: u64, j: u64) -> f64 {
+    (i * G[1] + j) as f64
+}
+
+/// A row-tiling of the global array into `splits` horizontal strips,
+/// each split further in the column direction.
+fn arb_tiling() -> impl Strategy<Value = Vec<([u64; 2], [u64; 2])>> {
+    // Cut points along each axis.
+    (1u64..=4, 1u64..=4).prop_map(|(nr, nc)| {
+        let mut tiles = Vec::new();
+        for r in 0..nr {
+            let r0 = G[0] * r / nr;
+            let r1 = G[0] * (r + 1) / nr;
+            for c in 0..nc {
+                let c0 = G[1] * c / nc;
+                let c1 = G[1] * (c + 1) / nc;
+                tiles.push(([r0, c0], [r1 - r0, c1 - c0]));
+            }
+        }
+        tiles
+    })
+}
+
+fn write_tiles(path: &PathBuf, tiles: &[([u64; 2], [u64; 2])]) {
+    let def = group();
+    let mut w = BpWriter::create(path).unwrap();
+    for (rank, (off, loc)) in tiles.iter().enumerate() {
+        let mut pg = ProcessGroup::new("g", rank as u64, 0);
+        pg.write(&def, "o0", DataArray::U64(vec![off[0]])).unwrap();
+        pg.write(&def, "o1", DataArray::U64(vec![off[1]])).unwrap();
+        pg.write(&def, "l0", DataArray::U64(vec![loc[0]])).unwrap();
+        pg.write(&def, "l1", DataArray::U64(vec![loc[1]])).unwrap();
+        let mut data = Vec::with_capacity((loc[0] * loc[1]) as usize);
+        for i in 0..loc[0] {
+            for j in 0..loc[1] {
+                data.push(val(off[0] + i, off[1] + j));
+            }
+        }
+        pg.write(&def, "a", DataArray::F64(data)).unwrap();
+        w.append_pg(&pg).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any tiling reassembles to the same global array.
+    #[test]
+    fn any_tiling_assembles(tiles in arb_tiling(), tag in any::<u64>()) {
+        let path = tmp(tag);
+        write_tiles(&path, &tiles);
+        let mut r = BpReader::open(&path).unwrap();
+        let got = r.read_global("a", 0).unwrap();
+        let expect: Vec<f64> =
+            (0..G[0]).flat_map(|i| (0..G[1]).map(move |j| val(i, j))).collect();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(got, DataArray::F64(expect));
+    }
+
+    /// Any sub-box read equals the naive slice, whatever the tiling.
+    #[test]
+    fn any_box_matches_naive(
+        tiles in arb_tiling(),
+        corner_frac in (0.0f64..1.0, 0.0f64..1.0),
+        tag in any::<u64>(),
+    ) {
+        let path = tmp(tag.wrapping_add(1));
+        write_tiles(&path, &tiles);
+        let c0 = (corner_frac.0 * (G[0] - 1) as f64) as u64;
+        let c1 = (corner_frac.1 * (G[1] - 1) as f64) as u64;
+        let e0 = (G[0] - c0).clamp(1, 7);
+        let e1 = (G[1] - c1).clamp(1, 5);
+        let mut r = BpReader::open(&path).unwrap();
+        let got = r.read_box("a", 0, &[c0, c1], &[e0, e1]).unwrap();
+        let expect: Vec<f64> = (0..e0)
+            .flat_map(|i| (0..e1).map(move |j| val(c0 + i, c1 + j)))
+            .collect();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(got, DataArray::F64(expect));
+        // Never read more bytes than the chunks intersecting the box hold.
+        let stats = r.take_stats();
+        prop_assert!(stats.bytes >= e0 * e1 * 8);
+    }
+
+    /// The footer index survives arbitrary append orders: chunk count and
+    /// byte accounting are exact.
+    #[test]
+    fn index_accounts_exactly(tiles in arb_tiling(), tag in any::<u64>()) {
+        let path = tmp(tag.wrapping_add(2));
+        write_tiles(&path, &tiles);
+        let r = BpReader::open(&path).unwrap();
+        let chunks = r.index().chunks_of("a", 0);
+        prop_assert_eq!(chunks.len(), tiles.len());
+        let total: u64 = chunks.iter().map(|c| c.payload_len).sum();
+        prop_assert_eq!(total, G[0] * G[1] * 8);
+        // Characteristics: global min/max across chunks are the array's.
+        let min = chunks.iter().map(|c| c.min).fold(f64::INFINITY, f64::min);
+        let max = chunks.iter().map(|c| c.max).fold(f64::NEG_INFINITY, f64::max);
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(min, 0.0);
+        prop_assert_eq!(max, val(G[0] - 1, G[1] - 1));
+    }
+}

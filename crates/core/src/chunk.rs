@@ -1,0 +1,175 @@
+//! Packed partial data chunks: one compute process' output for one step,
+//! framed as a self-describing `ffs` record (paper Stage 1b).
+
+use std::sync::Arc;
+
+use bpio::ProcessGroup;
+use ffs::{BaseType, FieldDesc, FormatDesc, Record, Value};
+
+/// Errors from packing/unpacking chunks.
+#[derive(Debug)]
+pub enum ChunkError {
+    Ffs(ffs::FfsError),
+    Bp(bpio::BpError),
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Ffs(e) => write!(f, "chunk framing error: {e}"),
+            ChunkError::Bp(e) => write!(f, "chunk payload error: {e}"),
+            ChunkError::Malformed(w) => write!(f, "malformed chunk: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+impl From<ffs::FfsError> for ChunkError {
+    fn from(e: ffs::FfsError) -> Self {
+        ChunkError::Ffs(e)
+    }
+}
+
+impl From<bpio::BpError> for ChunkError {
+    fn from(e: bpio::BpError) -> Self {
+        ChunkError::Bp(e)
+    }
+}
+
+/// The framing format for every packed chunk. Shared per process via a
+/// `OnceLock`, so all chunks of a run share one `Arc<FormatDesc>` and the
+/// fingerprint in the wire header is stable (staging nodes dispatch on it).
+fn chunk_format() -> &'static Arc<FormatDesc> {
+    static FMT: std::sync::OnceLock<Arc<FormatDesc>> = std::sync::OnceLock::new();
+    FMT.get_or_init(|| {
+        FormatDesc::new("predata_chunk_v1")
+            .field(FieldDesc::scalar("group", BaseType::Str))
+            .field(FieldDesc::scalar("writer_rank", BaseType::U64))
+            .field(FieldDesc::scalar("step", BaseType::U64))
+            .field(FieldDesc::scalar("pg_len", BaseType::U64))
+            .field(FieldDesc::vec("pg", BaseType::U8, "pg_len"))
+            .build()
+            .expect("static chunk format is valid")
+    })
+}
+
+/// A decoded packed partial data chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedChunk {
+    pub group: String,
+    pub writer_rank: u64,
+    pub step: u64,
+    pub pg: ProcessGroup,
+}
+
+impl PackedChunk {
+    pub fn new(pg: ProcessGroup) -> Self {
+        PackedChunk {
+            group: pg.group.clone(),
+            writer_rank: pg.writer_rank,
+            step: pg.step,
+            pg,
+        }
+    }
+
+    /// Pack into one contiguous self-describing buffer (Stage 1b).
+    pub fn pack(&self) -> Result<Vec<u8>, ChunkError> {
+        let pg_bytes = self.pg.encode();
+        let mut rec = Record::new(chunk_format());
+        rec.set("group", Value::Str(self.group.clone()))?;
+        rec.set("writer_rank", Value::U64(self.writer_rank))?;
+        rec.set("step", Value::U64(self.step))?;
+        rec.set("pg_len", Value::U64(pg_bytes.len() as u64))?;
+        rec.set("pg", Value::ArrU8(pg_bytes))?;
+        Ok(rec.encode_self_contained()?)
+    }
+
+    /// Unpack a buffer produced by [`PackedChunk::pack`].
+    pub fn unpack(buf: &[u8]) -> Result<PackedChunk, ChunkError> {
+        let rec = ffs::decode(buf, None)?;
+        let group = rec
+            .get("group")
+            .and_then(|v| v.as_str())
+            .ok_or(ChunkError::Malformed("missing group"))?
+            .to_string();
+        let writer_rank = rec
+            .get("writer_rank")
+            .and_then(Value::as_u64)
+            .ok_or(ChunkError::Malformed("rank"))?;
+        let step = rec
+            .get("step")
+            .and_then(Value::as_u64)
+            .ok_or(ChunkError::Malformed("step"))?;
+        let pg_bytes = match rec.get("pg") {
+            Some(Value::ArrU8(b)) => b,
+            _ => return Err(ChunkError::Malformed("missing payload")),
+        };
+        let pg = ProcessGroup::decode(pg_bytes)?;
+        Ok(PackedChunk {
+            group,
+            writer_rank,
+            step,
+            pg,
+        })
+    }
+
+    /// The framing format's fingerprint (what `decode_header` reports for
+    /// any packed chunk).
+    pub fn format_fingerprint() -> u64 {
+        chunk_format().fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpio::{DataArray, Dtype, GroupDef, VarDef};
+
+    fn sample_pg() -> ProcessGroup {
+        let def = GroupDef::new(
+            "g",
+            vec![
+                VarDef::scalar("n", Dtype::U64),
+                VarDef::local("x", Dtype::F64, vec![bpio::Dim::r("n")]),
+            ],
+        )
+        .unwrap();
+        let mut pg = ProcessGroup::new("g", 3, 9);
+        pg.write(&def, "n", DataArray::U64(vec![2])).unwrap();
+        pg.write(&def, "x", DataArray::F64(vec![0.5, -1.5]))
+            .unwrap();
+        pg
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let chunk = PackedChunk::new(sample_pg());
+        let buf = chunk.pack().unwrap();
+        let back = PackedChunk::unpack(&buf).unwrap();
+        assert_eq!(back, chunk);
+        assert_eq!(
+            back.pg.var("x").unwrap().data,
+            DataArray::F64(vec![0.5, -1.5])
+        );
+    }
+
+    #[test]
+    fn header_carries_stable_fingerprint() {
+        let chunk = PackedChunk::new(sample_pg());
+        let buf = chunk.pack().unwrap();
+        let h = ffs::decode_header(&buf).unwrap();
+        assert_eq!(h.fingerprint, PackedChunk::format_fingerprint());
+        assert!(h.has_embedded_schema);
+    }
+
+    #[test]
+    fn unpack_rejects_garbage() {
+        assert!(PackedChunk::unpack(b"junk").is_err());
+        let mut buf = PackedChunk::new(sample_pg()).pack().unwrap();
+        let n = buf.len();
+        buf.truncate(n - 5);
+        assert!(PackedChunk::unpack(&buf).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The compute-node side of the middleware (paper Stage 1).
+//!
+//! Applications keep their ADIOS-style output code: build a
+//! [`bpio::ProcessGroup`] and hand it to [`PredataClient::write_pg`].
+//! The client runs the registered compute-side passes, packs the group
+//! into a self-describing chunk, exposes it for one-sided access, picks a
+//! staging rank with the configured `Route()`, and sends the data-fetch
+//! request — then returns immediately. The simulation resumes while the
+//! staging area pulls the bulk bytes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bpio::ProcessGroup;
+use ffs::AttrList;
+use transport::{ComputeEndpoint, FetchRequest, Router, TransportError};
+
+use crate::chunk::{ChunkError, PackedChunk};
+use crate::op::ComputeSideOp;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Pack(ChunkError),
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Pack(e) => write!(f, "packing failed: {e}"),
+            ClientError::Transport(e) => write!(f, "transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ChunkError> for ClientError {
+    fn from(e: ChunkError) -> Self {
+        ClientError::Pack(e)
+    }
+}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+/// Receipt for one asynchronous write.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteReceipt {
+    /// Staging rank the fetch request went to.
+    pub staging_rank: usize,
+    /// Size of the exposed chunk.
+    pub bytes: usize,
+    /// Step the chunk belongs to.
+    pub step: u64,
+}
+
+/// One compute process' PreDatA client.
+pub struct PredataClient {
+    endpoint: ComputeEndpoint,
+    router: Arc<dyn Router>,
+    ops: Vec<Arc<dyn ComputeSideOp>>,
+    outstanding: std::cell::Cell<usize>,
+}
+
+impl PredataClient {
+    pub fn new(
+        endpoint: ComputeEndpoint,
+        router: Arc<dyn Router>,
+        ops: Vec<Arc<dyn ComputeSideOp>>,
+    ) -> Self {
+        PredataClient {
+            endpoint,
+            router,
+            ops,
+            outstanding: std::cell::Cell::new(0),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.endpoint.rank()
+    }
+
+    /// Asynchronous output of one process group: runs the compute-side
+    /// passes, packs, exposes, routes, requests. Does not wait for the
+    /// pull.
+    pub fn write_pg(&self, pg: ProcessGroup) -> Result<WriteReceipt, ClientError> {
+        let step = pg.step;
+        // Stage 1a: optional local first pass; results ride the request.
+        let mut attrs = AttrList::new();
+        for op in &self.ops {
+            op.partial_calculate(&pg, &mut attrs);
+        }
+        // Stage 1b: pack into a self-describing contiguous buffer.
+        let chunk = PackedChunk::new(pg);
+        let buf: Arc<[u8]> = chunk.pack()?.into();
+        let bytes = buf.len();
+        // Stage 1c: expose + route + request.
+        let handle = self.endpoint.expose(buf, step)?;
+        let staging_rank = self.router.route(self.rank(), step);
+        self.endpoint.send_request(
+            staging_rank,
+            FetchRequest {
+                src_rank: self.rank(),
+                io_step: step,
+                handle,
+                chunk_bytes: bytes,
+                format: PackedChunk::format_fingerprint(),
+                attrs,
+            },
+        )?;
+        self.outstanding.set(self.outstanding.get() + 1);
+        Ok(WriteReceipt {
+            staging_rank,
+            bytes,
+            step,
+        })
+    }
+
+    /// Bytes currently buffered (exposed, not yet pulled) on this node —
+    /// the compute-side memory cost of asynchronous staging.
+    pub fn buffered_bytes(&self) -> usize {
+        self.endpoint.pinned_bytes()
+    }
+
+    /// Wait until all outstanding exposures have been pulled (buffer
+    /// reuse point; a simulation calls this before *reusing* its output
+    /// buffers, not after every write).
+    pub fn wait_drained(&self, timeout: Duration) -> Result<(), TransportError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut left = self.outstanding.get();
+        left -= self.endpoint.poll_completions().len();
+        while left > 0 {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                self.outstanding.set(left);
+                return Err(TransportError::Timeout);
+            }
+            self.endpoint.wait_completion(remaining)?;
+            left -= 1;
+        }
+        self.outstanding.set(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::make_particle_pg;
+    use transport::{BlockRouter, Fabric};
+
+    struct NpOp;
+    impl ComputeSideOp for NpOp {
+        fn partial_calculate(&self, pg: &ProcessGroup, out: &mut AttrList) {
+            if let Some(np) = crate::schema::particle_count(pg) {
+                out.set("np", ffs::Value::U64(np));
+            }
+        }
+    }
+
+    #[test]
+    fn write_exposes_routes_and_attaches() {
+        let (_fabric, computes, stagings) = Fabric::new(2, 2, None);
+        let router = Arc::new(BlockRouter::new(2, 2));
+        let mut computes = computes.into_iter();
+        let c0 = PredataClient::new(
+            computes.next().unwrap(),
+            router.clone(),
+            vec![Arc::new(NpOp)],
+        );
+        let c1 = PredataClient::new(computes.next().unwrap(), router, vec![Arc::new(NpOp)]);
+
+        let r0 = c0.write_pg(make_particle_pg(0, 3, vec![0.0; 16])).unwrap();
+        let r1 = c1.write_pg(make_particle_pg(1, 3, vec![0.0; 8])).unwrap();
+        assert_eq!(r0.staging_rank, 0);
+        assert_eq!(r1.staging_rank, 1);
+        assert!(c0.buffered_bytes() > 0);
+
+        let req = stagings[0].recv_request(Duration::from_secs(1)).unwrap();
+        assert_eq!(req.src_rank, 0);
+        assert_eq!(req.io_step, 3);
+        assert_eq!(req.attrs.get_u64("np"), Some(2));
+        assert_eq!(req.format, PackedChunk::format_fingerprint());
+
+        // Pull and verify the payload decodes to the original PG.
+        let bytes = stagings[0].rdma_get(&req).unwrap();
+        let chunk = PackedChunk::unpack(&bytes).unwrap();
+        assert_eq!(chunk.writer_rank, 0);
+        assert_eq!(crate::schema::particle_count(&chunk.pg), Some(2));
+
+        // Drain: c0 completes, c1 still outstanding.
+        c0.wait_drained(Duration::from_secs(1)).unwrap();
+        assert_eq!(c0.buffered_bytes(), 0);
+        assert!(matches!(
+            c1.wait_drained(Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+    }
+}

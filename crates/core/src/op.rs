@@ -1,0 +1,268 @@
+//! The operator plugin API: the five-phase streaming model of paper
+//! Fig. 5, plus the optional compute-node first pass.
+//!
+//! PreDatA's processing model is MapReduce-shaped with four deliberate
+//! differences (paper §IV-C): data is visited **once** (streaming —
+//! staging memory cannot hold a dump), **Initialize/Finalize** phases
+//! bracket the stream (input from the application, output to storage),
+//! shuffling uses the machine's **MPI** collectives rather than a
+//! file-backed shuffle, and there is **no central master** — every
+//! staging rank runs the same SPMD pipeline.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ffs::AttrList;
+use minimpi::Comm;
+
+use crate::agg::Aggregates;
+use crate::chunk::PackedChunk;
+
+/// A tagged intermediate result emitted by `map` and routed by
+/// `partition`. The payload is operator-defined bytes: operators own
+/// their intermediate encoding, exactly as in MapReduce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tagged {
+    pub tag: u64,
+    pub bytes: Vec<u8>,
+}
+
+impl Tagged {
+    pub fn new(tag: u64, bytes: Vec<u8>) -> Self {
+        Tagged { tag, bytes }
+    }
+}
+
+/// What an operator produced for one I/O step.
+#[derive(Debug, Clone, Default)]
+pub struct OpResult {
+    /// Operator name.
+    pub op: String,
+    /// Small named results (statistics, counts) for in-situ consumers.
+    pub values: AttrList,
+    /// Files written by `finalize` (prepared data, indexes).
+    pub files: Vec<PathBuf>,
+}
+
+/// Execution context handed to every phase: where am I, who are my
+/// peers, where do results go.
+pub struct OpCtx<'a> {
+    /// Communicator over the ranks executing this pipeline (staging ranks
+    /// in the Staging placement; compute ranks in In-Compute-Node).
+    pub comm: &'a Comm,
+    /// Directory for `finalize` outputs.
+    pub out_dir: &'a Path,
+    /// The I/O step being processed.
+    pub step: u64,
+    /// Total number of *compute* ranks contributing chunks.
+    pub n_compute: usize,
+    /// The step's global aggregates, when the runtime has them (staging
+    /// and in-compute runners set this; hand-built test contexts may not).
+    pub agg: Option<&'a Aggregates>,
+}
+
+impl<'a> OpCtx<'a> {
+    /// Attach the step aggregates.
+    pub fn with_agg(mut self, agg: &'a Aggregates) -> Self {
+        self.agg = Some(agg);
+        self
+    }
+
+    pub fn my_rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.comm.size()
+    }
+}
+
+/// Optional compute-node first pass (paper Stage 1a): local, deterministic
+/// work whose small results ride on the data-fetch request.
+pub trait ComputeSideOp: Send + Sync {
+    /// Inspect the outgoing process group; attach partial results
+    /// (local counts, min/max, filter summaries) to `out`.
+    fn partial_calculate(&self, pg: &bpio::ProcessGroup, out: &mut AttrList);
+}
+
+/// A pluggable in-transit operation (paper Fig. 5).
+///
+/// Call order per I/O step, on every pipeline rank:
+/// `initialize` → `map`* (once per chunk, streaming) → `combine` →
+/// shuffle (`partition` routes tags) → `reduce`* (once per owned tag) →
+/// `finalize`.
+pub trait StreamOp: Send {
+    fn name(&self) -> &str;
+
+    /// Set up per-step state from the global aggregates.
+    fn initialize(&mut self, agg: &Aggregates, ctx: &OpCtx);
+
+    /// Process one packed partial data chunk; emit tagged intermediates.
+    /// Chunks arrive in pull-completion order and are dropped afterwards
+    /// (single-pass streaming).
+    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged>;
+
+    /// Optional local pre-aggregation before the shuffle (cuts shuffle
+    /// volume; the ablation benches measure by how much).
+    fn combine(&mut self, items: Vec<Tagged>) -> Vec<Tagged> {
+        items
+    }
+
+    /// Which pipeline rank owns a tag. Default: modulo.
+    fn partition(&self, tag: u64, n_ranks: usize) -> usize {
+        (tag % n_ranks.max(1) as u64) as usize
+    }
+
+    /// Fold all intermediates for one owned tag (local + shuffled-in).
+    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, ctx: &OpCtx);
+
+    /// Emit results (files, statistics) and reset per-step state.
+    fn finalize(&mut self, ctx: &OpCtx) -> OpResult;
+}
+
+/// Exchange tagged intermediates among pipeline ranks: every item lands
+/// on `op.partition(tag)`'s rank, grouped by tag. Collective over `comm`.
+pub fn shuffle_tagged(
+    items: Vec<Tagged>,
+    op: &dyn StreamOp,
+    comm: &Comm,
+) -> BTreeMap<u64, Vec<Vec<u8>>> {
+    let n = comm.size();
+    // Serialize per-destination buckets: [tag u64][len u32][bytes]…
+    let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); n];
+    for item in items {
+        let dst = op.partition(item.tag, n);
+        debug_assert!(dst < n, "partition() out of range");
+        let b = &mut buckets[dst.min(n - 1)];
+        b.extend_from_slice(&item.tag.to_le_bytes());
+        b.extend_from_slice(&(item.bytes.len() as u32).to_le_bytes());
+        b.extend_from_slice(&item.bytes);
+    }
+    let received = comm.alltoallv(buckets);
+    let mut grouped: BTreeMap<u64, Vec<Vec<u8>>> = BTreeMap::new();
+    for blob in received {
+        let mut pos = 0;
+        while pos + 12 <= blob.len() {
+            let tag = u64::from_le_bytes(blob[pos..pos + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(blob[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            pos += 12;
+            grouped
+                .entry(tag)
+                .or_default()
+                .push(blob[pos..pos + len].to_vec());
+            pos += len;
+        }
+    }
+    grouped
+}
+
+/// Run the post-map phases (combine → shuffle → reduce → finalize) for
+/// one operator. Shared by the staging runtime and the in-compute runner,
+/// which differ only in where `map` inputs come from.
+pub fn complete_pipeline(op: &mut dyn StreamOp, mapped: Vec<Tagged>, ctx: &OpCtx) -> OpResult {
+    let combined = op.combine(mapped);
+    let grouped = shuffle_tagged(combined, op, ctx.comm);
+    for (tag, items) in grouped {
+        op.reduce(tag, items, ctx);
+    }
+    ctx.comm.barrier();
+    op.finalize(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimpi::World;
+
+    /// Word-count-flavoured test op: map emits (value, 1), reduce sums.
+    struct CountOp {
+        counts: BTreeMap<u64, u64>,
+    }
+
+    impl StreamOp for CountOp {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn initialize(&mut self, _agg: &Aggregates, _ctx: &OpCtx) {
+            self.counts.clear();
+        }
+        fn map(&mut self, _chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
+            unreachable!("driven directly in tests")
+        }
+        fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+            let sum = items
+                .iter()
+                .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                .sum::<u64>();
+            *self.counts.entry(tag).or_default() += sum;
+        }
+        fn finalize(&mut self, _ctx: &OpCtx) -> OpResult {
+            OpResult::default()
+        }
+    }
+
+    #[test]
+    fn shuffle_routes_by_partition_and_groups_by_tag() {
+        let out = World::run(4, |comm| {
+            let op = CountOp {
+                counts: BTreeMap::new(),
+            };
+            // Every rank emits tags 0..8, payload = its rank.
+            let items: Vec<Tagged> = (0..8u64)
+                .map(|t| Tagged::new(t, (comm.rank() as u64).to_le_bytes().to_vec()))
+                .collect();
+            let grouped = shuffle_tagged(items, &op, &comm);
+            // Default partition: tag % 4 == my rank.
+            let my_tags: Vec<u64> = grouped.keys().copied().collect();
+            let all_from_everyone = grouped.values().all(|items| items.len() == 4);
+            (comm.rank(), my_tags, all_from_everyone)
+        });
+        for (rank, tags, complete) in out {
+            assert_eq!(tags, vec![rank as u64, rank as u64 + 4]);
+            assert!(complete);
+        }
+    }
+
+    #[test]
+    fn empty_shuffle_is_fine() {
+        let out = World::run(2, |comm| {
+            let op = CountOp {
+                counts: BTreeMap::new(),
+            };
+            shuffle_tagged(Vec::new(), &op, &comm).len()
+        });
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn reduce_sees_all_contributions() {
+        let out = World::run(3, |comm| {
+            let mut op = CountOp {
+                counts: BTreeMap::new(),
+            };
+            let items: Vec<Tagged> = (0..6u64)
+                .map(|t| Tagged::new(t, 1u64.to_le_bytes().to_vec()))
+                .collect();
+            let grouped = shuffle_tagged(items, &op, &comm);
+            let dir = std::env::temp_dir();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 3,
+                agg: None,
+            };
+            for (tag, its) in grouped {
+                op.reduce(tag, its, &ctx);
+            }
+            op.counts
+        });
+        // Each tag owned by tag%3; each contributes 3 (one per rank).
+        for (rank, counts) in out.iter().enumerate() {
+            for (tag, n) in counts {
+                assert_eq!(*tag as usize % 3, rank);
+                assert_eq!(*n, 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Bin-encoded bitmap indexing for range queries (GTC task 2).
+//!
+//! Following the multi-resolution bitmap approach of Sinha & Winslett,
+//! each indexed attribute's value range is cut into bins; a compressed
+//! bitmap per bin records which rows fall in it. A range query then
+//! touches only boundary-bin rows ("candidates", verified against data)
+//! plus whole inner bins ("hits", no data access needed) — which is how
+//! the paper's staging-side indexing shrinks subsequent reads.
+//!
+//! The bitmap compression is word-aligned run-length (WAH-flavoured):
+//! each entry is (number of all-zero 64-bit words skipped, literal word).
+
+use crate::agg::Aggregates;
+use crate::chunk::PackedChunk;
+use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
+use ffs::Value;
+
+/// A compressed bitmap over row ids, built by appending set bits in
+/// increasing order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedBitmap {
+    /// (zero words skipped since previous entry, literal word).
+    runs: Vec<(u32, u64)>,
+    /// Word index of the last literal, for append.
+    last_word: u64,
+    len_bits: u64,
+}
+
+impl CompressedBitmap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set bit `i`. Bits must be appended in strictly increasing order.
+    pub fn push(&mut self, i: u64) {
+        assert!(
+            i >= self.len_bits,
+            "bits must be appended in increasing order"
+        );
+        let word = i / 64;
+        let bit = 1u64 << (i % 64);
+        match self.runs.last_mut() {
+            Some((_, w)) if self.last_word == word => *w |= bit,
+            _ => {
+                let skipped = if self.runs.is_empty() {
+                    word
+                } else {
+                    word - self.last_word - 1
+                };
+                self.runs.push((skipped as u32, bit));
+                self.last_word = word;
+            }
+        }
+        self.len_bits = i + 1;
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u64 {
+        self.runs.iter().map(|(_, w)| w.count_ones() as u64).sum()
+    }
+
+    /// Iterate set bit positions in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut word_idx: u64 = 0;
+        let mut first = true;
+        self.runs.iter().flat_map(move |&(skip, w)| {
+            if first {
+                first = false;
+                word_idx = skip as u64;
+            } else {
+                word_idx += skip as u64 + 1;
+            }
+            let base = word_idx * 64;
+            (0..64u64)
+                .filter(move |b| (w >> b) & 1 == 1)
+                .map(move |b| base + b)
+        })
+    }
+
+    /// Memory footprint in bytes (the compression the paper relies on for
+    /// keeping indexes in staging memory).
+    pub fn heap_bytes(&self) -> usize {
+        self.runs.len() * std::mem::size_of::<(u32, u64)>()
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.runs.len() * 12);
+        out.extend_from_slice(&self.len_bits.to_le_bytes());
+        out.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        for &(skip, w) in &self.runs {
+            out.extend_from_slice(&skip.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let len_bits = u64::from_le_bytes(buf[..8].try_into().ok()?);
+        let n = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+        let need = 12 + n * 12;
+        if buf.len() < need {
+            return None;
+        }
+        let mut runs = Vec::with_capacity(n);
+        let mut word = 0u64;
+        for i in 0..n {
+            let off = 12 + i * 12;
+            let skip = u32::from_le_bytes(buf[off..off + 4].try_into().ok()?);
+            let w = u64::from_le_bytes(buf[off + 4..off + 12].try_into().ok()?);
+            word = if i == 0 {
+                skip as u64
+            } else {
+                word + skip as u64 + 1
+            };
+            runs.push((skip, w));
+        }
+        Some((
+            CompressedBitmap {
+                runs,
+                last_word: word,
+                len_bits,
+            },
+            need,
+        ))
+    }
+}
+
+/// A bin-encoded bitmap index over one attribute of one row set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitmapIndex {
+    pub lo: f64,
+    pub hi: f64,
+    pub bins: Vec<CompressedBitmap>,
+    pub n_rows: u64,
+}
+
+impl BitmapIndex {
+    /// Build over `values`, binning `[lo, hi]` into `n_bins`.
+    pub fn build(values: impl Iterator<Item = f64>, lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(n_bins > 0);
+        let mut bins = vec![CompressedBitmap::new(); n_bins];
+        let mut n_rows = 0;
+        for (i, v) in values.enumerate() {
+            let b = if hi <= lo {
+                0
+            } else {
+                (((v - lo) / (hi - lo) * n_bins as f64) as usize).min(n_bins - 1)
+            };
+            bins[b].push(i as u64);
+            n_rows += 1;
+        }
+        BitmapIndex {
+            lo,
+            hi,
+            bins,
+            n_rows,
+        }
+    }
+
+    fn bin_of(&self, v: f64) -> usize {
+        if self.hi <= self.lo {
+            return 0;
+        }
+        (((v - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize)
+            .min(self.bins.len() - 1)
+    }
+
+    /// Answer `lo_q <= value <= hi_q`: rows certainly matching (from
+    /// fully-covered bins) and candidate rows (boundary bins) that the
+    /// caller must verify against the data.
+    pub fn query(&self, lo_q: f64, hi_q: f64) -> QueryResult {
+        let mut hits = Vec::new();
+        let mut candidates = Vec::new();
+        if lo_q > hi_q || self.n_rows == 0 || lo_q > self.hi || hi_q < self.lo {
+            return QueryResult { hits, candidates };
+        }
+        let b_lo = self.bin_of(lo_q.max(self.lo));
+        let b_hi = self.bin_of(hi_q.min(self.hi));
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for b in b_lo..=b_hi {
+            let bin_lo = self.lo + b as f64 * width;
+            let bin_hi = bin_lo + width;
+            let fully_inside = lo_q <= bin_lo && bin_hi <= hi_q && self.hi > self.lo;
+            let out = if fully_inside {
+                &mut hits
+            } else {
+                &mut candidates
+            };
+            out.extend(self.bins[b].iter_ones());
+        }
+        QueryResult { hits, candidates }
+    }
+
+    /// Total compressed footprint.
+    pub fn heap_bytes(&self) -> usize {
+        self.bins.iter().map(CompressedBitmap::heap_bytes).sum()
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.lo.to_le_bytes());
+        out.extend_from_slice(&self.hi.to_le_bytes());
+        out.extend_from_slice(&self.n_rows.to_le_bytes());
+        out.extend_from_slice(&(self.bins.len() as u32).to_le_bytes());
+        for b in &self.bins {
+            out.extend_from_slice(&b.to_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        if buf.len() < 28 {
+            return None;
+        }
+        let lo = f64::from_le_bytes(buf[..8].try_into().ok()?);
+        let hi = f64::from_le_bytes(buf[8..16].try_into().ok()?);
+        let n_rows = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        let nb = u32::from_le_bytes(buf[24..28].try_into().ok()?) as usize;
+        let mut pos = 28;
+        let mut bins = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            let (b, used) = CompressedBitmap::from_bytes(&buf[pos..])?;
+            bins.push(b);
+            pos += used;
+        }
+        Some(BitmapIndex {
+            lo,
+            hi,
+            bins,
+            n_rows,
+        })
+    }
+}
+
+/// Result of a bitmap range query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Row ids guaranteed to satisfy the predicate.
+    pub hits: Vec<u64>,
+    /// Row ids that may satisfy it; verify against the data.
+    pub candidates: Vec<u64>,
+}
+
+/// A set of per-chunk indexes loaded back from `.idx` files — the query
+/// side of GTC task 2. Chunks whose index proves them empty for a range
+/// are never read at all; only candidate rows of the remaining chunks
+/// need verification against the data.
+#[derive(Debug, Clone, Default)]
+pub struct IndexSet {
+    /// (compute/writer rank of the chunk, its index).
+    pub per_chunk: Vec<(u64, BitmapIndex)>,
+}
+
+impl IndexSet {
+    /// Load every `.idx` file produced by [`BitmapIndexOp::finalize`]
+    /// across the staging ranks.
+    pub fn load(paths: impl IntoIterator<Item = std::path::PathBuf>) -> std::io::Result<IndexSet> {
+        let mut per_chunk = Vec::new();
+        for path in paths {
+            let blob = std::fs::read(&path)?;
+            let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt index");
+            if blob.len() < 4 {
+                return Err(bad());
+            }
+            let n = u32::from_le_bytes(blob[..4].try_into().unwrap()) as usize;
+            let mut pos = 4;
+            for _ in 0..n {
+                if blob.len() < pos + 12 {
+                    return Err(bad());
+                }
+                let rank = u64::from_le_bytes(blob[pos..pos + 8].try_into().unwrap());
+                let len = u32::from_le_bytes(blob[pos + 8..pos + 12].try_into().unwrap()) as usize;
+                pos += 12;
+                if blob.len() < pos + len {
+                    return Err(bad());
+                }
+                let idx = BitmapIndex::from_bytes(&blob[pos..pos + len]).ok_or_else(bad)?;
+                pos += len;
+                per_chunk.push((rank, idx));
+            }
+        }
+        per_chunk.sort_by_key(|(r, _)| *r);
+        Ok(IndexSet { per_chunk })
+    }
+
+    /// Plan a range query: per chunk, the definite hits and candidates.
+    /// Chunks absent from the result need no data access at all.
+    pub fn plan(&self, lo: f64, hi: f64) -> Vec<(u64, QueryResult)> {
+        self.per_chunk
+            .iter()
+            .filter_map(|(rank, idx)| {
+                let q = idx.query(lo, hi);
+                if q.hits.is_empty() && q.candidates.is_empty() {
+                    None
+                } else {
+                    Some((*rank, q))
+                }
+            })
+            .collect()
+    }
+
+    /// Rows indexed across all chunks.
+    pub fn total_rows(&self) -> u64 {
+        self.per_chunk.iter().map(|(_, i)| i.n_rows).sum()
+    }
+}
+
+/// The in-transit indexing operation: builds one [`BitmapIndex`] per
+/// (compute chunk × indexed column), keyed so later range queries can
+/// prune whole chunks. Indexes for chunk `r` live on pipeline rank
+/// `r % n` (two-level load balance, as in DataSpaces).
+pub struct BitmapIndexOp {
+    /// Attribute column to index.
+    pub column: usize,
+    /// Bins per index.
+    pub bins: usize,
+    range: (f64, f64),
+    built: Vec<(u64, BitmapIndex)>,
+}
+
+impl BitmapIndexOp {
+    pub fn new(column: usize, bins: usize) -> Self {
+        assert!(column < PARTICLE_WIDTH && bins > 0);
+        BitmapIndexOp {
+            column,
+            bins,
+            range: (0.0, 1.0),
+            built: Vec::new(),
+        }
+    }
+}
+
+impl ComputeSideOp for BitmapIndexOp {
+    fn partial_calculate(&self, pg: &bpio::ProcessGroup, out: &mut ffs::AttrList) {
+        crate::ops::histogram::attach_particle_stats(pg, out);
+    }
+}
+
+impl StreamOp for BitmapIndexOp {
+    fn name(&self) -> &str {
+        "bitmap_index"
+    }
+
+    fn initialize(&mut self, agg: &Aggregates, _ctx: &OpCtx) {
+        let name = PARTICLE_ATTRS[self.column];
+        self.range = (
+            agg.min_f64(&format!("min_{name}")).unwrap_or(0.0),
+            agg.max_f64(&format!("max_{name}")).unwrap_or(1.0),
+        );
+        self.built.clear();
+    }
+
+    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        let idx = BitmapIndex::build(
+            rows.chunks_exact(PARTICLE_WIDTH).map(|r| r[self.column]),
+            self.range.0,
+            self.range.1,
+            self.bins,
+        );
+        vec![Tagged::new(chunk.writer_rank, idx.to_bytes())]
+    }
+
+    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+        for item in items {
+            if let Some(idx) = BitmapIndex::from_bytes(&item) {
+                self.built.push((tag, idx));
+            }
+        }
+    }
+
+    fn finalize(&mut self, ctx: &OpCtx) -> OpResult {
+        let mut result = OpResult {
+            op: "bitmap_index".into(),
+            ..Default::default()
+        };
+        let total_rows: u64 = self.built.iter().map(|(_, i)| i.n_rows).sum();
+        let total_bytes: u64 = self.built.iter().map(|(_, i)| i.heap_bytes() as u64).sum();
+        result
+            .values
+            .set("indexed_chunks", Value::U64(self.built.len() as u64));
+        result.values.set("indexed_rows", Value::U64(total_rows));
+        result.values.set("index_bytes", Value::U64(total_bytes));
+        // Persist: one index file for all owned chunks.
+        let path = ctx.out_dir.join(format!(
+            "bitmap_{}_step{}_rank{}.idx",
+            PARTICLE_ATTRS[self.column],
+            ctx.step,
+            ctx.my_rank()
+        ));
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&(self.built.len() as u32).to_le_bytes());
+        for (chunk_rank, idx) in &self.built {
+            blob.extend_from_slice(&chunk_rank.to_le_bytes());
+            let b = idx.to_bytes();
+            blob.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            blob.extend_from_slice(&b);
+        }
+        if std::fs::write(&path, blob).is_ok() {
+            result.files.push(path);
+        }
+        self.built.clear();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_push_iter_roundtrip() {
+        let mut bm = CompressedBitmap::new();
+        let bits = [0u64, 1, 63, 64, 1000, 100_000];
+        for &b in &bits {
+            bm.push(b);
+        }
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), bits);
+        assert_eq!(bm.count(), bits.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn bitmap_rejects_out_of_order() {
+        let mut bm = CompressedBitmap::new();
+        bm.push(10);
+        bm.push(5);
+    }
+
+    #[test]
+    fn bitmap_compresses_sparse_runs() {
+        let mut bm = CompressedBitmap::new();
+        for i in 0..100 {
+            bm.push(i * 100_000);
+        }
+        // 100 set bits spread over 10M positions: far less than a dense
+        // 10M/8 = 1.25 MB bitmap.
+        assert!(bm.heap_bytes() < 100 * 16 + 16);
+        assert_eq!(bm.count(), 100);
+    }
+
+    #[test]
+    fn bitmap_serialization_roundtrip() {
+        let mut bm = CompressedBitmap::new();
+        for b in [3u64, 64, 65, 130, 4096] {
+            bm.push(b);
+        }
+        let bytes = bm.to_bytes();
+        let (back, used) = CompressedBitmap::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn index_query_matches_naive_scan() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.73).sin() * 10.0).collect();
+        let idx = BitmapIndex::build(values.iter().copied(), -10.0, 10.0, 16);
+        for (lo, hi) in [
+            (-10.0, 10.0),
+            (0.0, 5.0),
+            (-2.5, 2.5),
+            (9.0, 9.5),
+            (5.0, 4.0),
+        ] {
+            let r = idx.query(lo, hi);
+            // Hits must all truly match.
+            for &row in &r.hits {
+                let v = values[row as usize];
+                assert!(v >= lo && v <= hi, "false hit {v} for [{lo},{hi}]");
+            }
+            // hits + verified candidates == naive scan.
+            let mut found: Vec<u64> = r
+                .hits
+                .iter()
+                .copied()
+                .chain(r.candidates.iter().copied().filter(|&c| {
+                    let v = values[c as usize];
+                    v >= lo && v <= hi
+                }))
+                .collect();
+            found.sort_unstable();
+            let naive: Vec<u64> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v >= lo && v <= hi)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(found, naive, "range [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn narrow_query_avoids_full_scan() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let idx = BitmapIndex::build(values.iter().copied(), 0.0, 10_000.0, 64);
+        let r = idx.query(100.0, 200.0);
+        let touched = r.hits.len() + r.candidates.len();
+        assert!(touched < 500, "touched {touched} of 10000 rows");
+    }
+
+    #[test]
+    fn index_serialization_roundtrip() {
+        let values: Vec<f64> = (0..257).map(|i| (i % 17) as f64).collect();
+        let idx = BitmapIndex::build(values.iter().copied(), 0.0, 17.0, 8);
+        let back = BitmapIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back, idx);
+        assert!(BitmapIndex::from_bytes(&idx.to_bytes()[..10]).is_none());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BitmapIndex::build(std::iter::empty(), 0.0, 1.0, 4);
+        assert_eq!(idx.n_rows, 0);
+        let r = idx.query(0.0, 1.0);
+        assert!(r.hits.is_empty() && r.candidates.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! 2-D histograms over attribute pairs (GTC parallel-coordinate
+//! visualization, after Jones et al.).
+//!
+//! Structurally identical to the 1-D histogram — computation-dominant,
+//! tiny communication — but with quadratically more bins and heavier
+//! binning math, which is why the paper reports higher compute times
+//! (Fig. 7c/f) and stores roughly 4× more result bytes.
+
+use ffs::Value;
+
+use crate::agg::Aggregates;
+use crate::chunk::PackedChunk;
+use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::ops::histogram::attach_particle_stats;
+use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
+
+/// 2-D histogram over configured attribute pairs.
+pub struct Histogram2dOp {
+    /// (column, column) pairs to correlate.
+    pub pairs: Vec<(usize, usize)>,
+    /// Bins per axis (total bins per pair = bins²).
+    pub bins: usize,
+    ranges: Vec<((f64, f64), (f64, f64))>,
+    local: Vec<Vec<u64>>,
+    owned: Vec<(u64, Vec<u64>)>,
+}
+
+impl Histogram2dOp {
+    pub fn new(pairs: Vec<(usize, usize)>, bins: usize) -> Self {
+        assert!(bins > 0 && !pairs.is_empty());
+        assert!(pairs
+            .iter()
+            .all(|&(a, b)| a < PARTICLE_WIDTH && b < PARTICLE_WIDTH));
+        Histogram2dOp {
+            pairs,
+            bins,
+            ranges: Vec::new(),
+            local: Vec::new(),
+            owned: Vec::new(),
+        }
+    }
+
+    fn axis_bin(&self, (lo, hi): (f64, f64), v: f64) -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        (((v - lo) / (hi - lo) * self.bins as f64) as usize).min(self.bins - 1)
+    }
+}
+
+impl ComputeSideOp for Histogram2dOp {
+    fn partial_calculate(&self, pg: &bpio::ProcessGroup, out: &mut ffs::AttrList) {
+        attach_particle_stats(pg, out);
+    }
+}
+
+impl StreamOp for Histogram2dOp {
+    fn name(&self) -> &str {
+        "histogram2d"
+    }
+
+    fn initialize(&mut self, agg: &Aggregates, _ctx: &OpCtx) {
+        let range = |c: usize| {
+            let name = PARTICLE_ATTRS[c];
+            (
+                agg.min_f64(&format!("min_{name}")).unwrap_or(0.0),
+                agg.max_f64(&format!("max_{name}")).unwrap_or(1.0),
+            )
+        };
+        self.ranges = self
+            .pairs
+            .iter()
+            .map(|&(a, b)| (range(a), range(b)))
+            .collect();
+        self.local = vec![vec![0; self.bins * self.bins]; self.pairs.len()];
+        self.owned.clear();
+    }
+
+    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            for (i, &(ca, cb)) in self.pairs.iter().enumerate() {
+                let (ra, rb) = self.ranges[i];
+                let ba = self.axis_bin(ra, row[ca]);
+                let bb = self.axis_bin(rb, row[cb]);
+                self.local[i][ba * self.bins + bb] += 1;
+            }
+        }
+        Vec::new()
+    }
+
+    fn combine(&mut self, mut items: Vec<Tagged>) -> Vec<Tagged> {
+        for (i, bins) in self.local.iter().enumerate() {
+            let mut bytes = Vec::with_capacity(bins.len() * 8);
+            for &b in bins {
+                bytes.extend_from_slice(&b.to_le_bytes());
+            }
+            items.push(Tagged::new(i as u64, bytes));
+        }
+        items
+    }
+
+    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+        let mut sum = vec![0u64; self.bins * self.bins];
+        for item in items {
+            for (i, w) in item.chunks_exact(8).enumerate() {
+                sum[i] += u64::from_le_bytes(w.try_into().unwrap());
+            }
+        }
+        self.owned.push((tag, sum));
+    }
+
+    fn finalize(&mut self, ctx: &OpCtx) -> OpResult {
+        let mut result = OpResult {
+            op: "histogram2d".into(),
+            ..Default::default()
+        };
+        for (tag, bins) in self.owned.drain(..) {
+            let (ca, cb) = self.pairs[tag as usize];
+            let name = format!("{}_{}", PARTICLE_ATTRS[ca], PARTICLE_ATTRS[cb]);
+            result
+                .values
+                .set(format!("hist2d_{name}"), Value::ArrU64(bins.clone()));
+            let path = ctx
+                .out_dir
+                .join(format!("hist2d_{name}_step{}.bp", ctx.step));
+            if let Ok(mut w) = bpio::BpWriter::create(&path) {
+                let def = bpio::GroupDef::new(
+                    "histogram2d",
+                    vec![
+                        bpio::VarDef::scalar("bins", bpio::Dtype::U64),
+                        bpio::VarDef::local(
+                            "counts",
+                            bpio::Dtype::U64,
+                            vec![bpio::Dim::r("bins"), bpio::Dim::r("bins")],
+                        ),
+                    ],
+                )
+                .expect("static group");
+                let mut pg = bpio::ProcessGroup::new("histogram2d", ctx.my_rank() as u64, ctx.step);
+                pg.write(&def, "bins", bpio::DataArray::U64(vec![self.bins as u64]))
+                    .unwrap();
+                pg.write(&def, "counts", bpio::DataArray::U64(bins))
+                    .unwrap();
+                if w.append_pg(&pg).is_ok() && w.finish().is_ok() {
+                    result.files.push(path);
+                }
+            }
+        }
+        self.local.clear();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::make_particle_pg;
+    use minimpi::World;
+
+    #[test]
+    fn marginals_match_1d() {
+        // One rank, one chunk: the 2-D histogram's row sums must equal a
+        // 1-D histogram of the first attribute.
+        let out = World::run(1, |comm| {
+            let mut op = Histogram2dOp::new(vec![(0, 1)], 2);
+            let dir = std::env::temp_dir().join(format!("h2d-test-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 1,
+                agg: None,
+            };
+            let mut a = ffs::AttrList::new();
+            a.set("min_x", Value::F64(0.0));
+            a.set("max_x", Value::F64(4.0));
+            a.set("min_y", Value::F64(0.0));
+            a.set("max_y", Value::F64(4.0));
+            op.initialize(&Aggregates::local_only(&[(0, a)]), &ctx);
+            // Particles at (x, y): (0,0), (1,3), (3,1), (3,3).
+            let rows: Vec<f64> = [(0., 0.), (1., 3.), (3., 1.), (3., 3.)]
+                .iter()
+                .flat_map(|&(x, y)| vec![x, y, 0., 0., 0., 0., 0., 0.])
+                .collect();
+            let mapped = op.map(&PackedChunk::new(make_particle_pg(0, 0, rows)), &ctx);
+            let r = crate::op::complete_pipeline(&mut op, mapped, &ctx);
+            r.values.get("hist2d_x_y").cloned()
+        });
+        // 2x2 bins of width 2: (0,0)→(0,0); (1,3)→(0,1); (3,1)→(1,0); (3,3)→(1,1).
+        assert_eq!(out[0], Some(Value::ArrU64(vec![1, 1, 1, 1])));
+    }
+
+    #[test]
+    fn bins_quadratic_in_axis_count() {
+        let op = Histogram2dOp::new(vec![(0, 1)], 16);
+        assert_eq!(op.bins * op.bins, 256);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_columns() {
+        Histogram2dOp::new(vec![(0, 99)], 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Built-in PreDatA operations — the ones evaluated in the paper.
+//!
+//! * [`sort::SortOp`] — global particle sort by the (rank, id) label,
+//!   enabling particle tracking across the hundreds of per-step files
+//!   (GTC task 1).
+//! * [`bitmap::BitmapIndex`] / [`bitmap::BitmapIndexOp`] — bin-encoded
+//!   bitmap indexing for range queries over particle attributes
+//!   (GTC task 2, after Sinha & Winslett).
+//! * [`histogram::HistogramOp`] — per-attribute 1-D histograms for online
+//!   monitoring (GTC task 3).
+//! * [`histogram2d::Histogram2dOp`] — 2-D histograms for parallel-
+//!   coordinate visualization (GTC task 3).
+//! * [`reorg::ReorgOp`] — array-layout re-organization: merges scattered
+//!   per-process chunks of global arrays into large contiguous extents
+//!   before writing (Pixie3D).
+//! * [`filter::FilterOp`] — in-transit filtering/reduction: keep only the
+//!   particles inside configured attribute ranges (the paper's
+//!   "filtering and reduction" operator class).
+//! * [`moments::MomentsOp`] — streaming mean/variance/skewness per
+//!   attribute, the "statistical measures that can be used to validate
+//!   the veracity of the ongoing simulation".
+
+pub mod bitmap;
+pub mod filter;
+pub mod histogram;
+pub mod histogram2d;
+pub mod moments;
+pub mod reorg;
+pub mod sort;
+
+pub use bitmap::{BitmapIndex, BitmapIndexOp, IndexSet};
+pub use filter::{FilterOp, RangeClause};
+pub use histogram::HistogramOp;
+pub use histogram2d::Histogram2dOp;
+pub use moments::{MomentState, MomentsOp};
+pub use reorg::ReorgOp;
+pub use sort::SortOp;

@@ -1,0 +1,391 @@
+//! Array layout re-organization (Pixie3D).
+//!
+//! The In-Compute-Node configuration writes one small chunk of each global
+//! array per process, scattering every array across thousands of extents;
+//! reading one global array back then costs thousands of seeks (paper
+//! Fig. 11, "unmerged"). This operation merges chunks *in transit*: the
+//! global space of every variable is split into one slab per pipeline
+//! rank along the slowest dimension; `map` routes each chunk piece to its
+//! slab owner, `reduce` copies pieces into contiguous slab buffers, and
+//! `finalize` writes each slab as one large contiguous extent ("merged").
+
+use bpio::{copy_box, linear_len, DataArray, Dtype};
+use ffs::Value;
+
+use crate::agg::Aggregates;
+use crate::chunk::PackedChunk;
+use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+
+/// Merge the named 3-D global variables into per-rank contiguous slabs.
+pub struct ReorgOp {
+    /// Variables to merge (must be global chunks in incoming PGs).
+    pub vars: Vec<String>,
+    /// Global extents, discovered in `initialize` from attached attrs.
+    global: Vec<u64>,
+    /// This rank's slab `[lo, hi)` along dimension 0.
+    slab: (u64, u64),
+    /// Slab buffers, one per variable.
+    buffers: Vec<DataArray>,
+}
+
+impl ReorgOp {
+    pub fn new(vars: Vec<String>) -> Self {
+        assert!(!vars.is_empty());
+        ReorgOp {
+            vars,
+            global: Vec::new(),
+            slab: (0, 0),
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Pixie3D's eight fields.
+    pub fn pixie3d() -> Self {
+        Self::new(
+            crate::schema::PIXIE_FIELDS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+    }
+
+    fn slab_of(d0: u64, n_ranks: usize, total_d0: u64) -> usize {
+        // Inverse of `slab_range` (whose bounds are floor(total·r/n)):
+        // start from the proportional estimate, then correct to the slab
+        // actually containing d0.
+        let total = total_d0.max(1);
+        let mut r = ((d0 as u128 * n_ranks as u128 / total as u128) as usize).min(n_ranks - 1);
+        while r > 0 && d0 < Self::slab_range(r, n_ranks, total_d0).0 {
+            r -= 1;
+        }
+        while r + 1 < n_ranks && d0 >= Self::slab_range(r, n_ranks, total_d0).1 {
+            r += 1;
+        }
+        r
+    }
+
+    fn slab_range(rank: usize, n_ranks: usize, total_d0: u64) -> (u64, u64) {
+        let lo = (total_d0 as u128 * rank as u128 / n_ranks as u128) as u64;
+        let hi = (total_d0 as u128 * (rank as u128 + 1) / n_ranks as u128) as u64;
+        (lo, hi)
+    }
+}
+
+/// Attach the global extents so `initialize` can size slabs before any
+/// bulk data arrives.
+impl ComputeSideOp for ReorgOp {
+    fn partial_calculate(&self, pg: &bpio::ProcessGroup, out: &mut ffs::AttrList) {
+        if let Some(v) = self.vars.first().and_then(|n| pg.var(n)) {
+            if v.global.len() == 3 {
+                out.set("gx", Value::U64(v.global[0]));
+                out.set("gy", Value::U64(v.global[1]));
+                out.set("gz", Value::U64(v.global[2]));
+            }
+        }
+    }
+}
+
+impl StreamOp for ReorgOp {
+    fn name(&self) -> &str {
+        "reorg"
+    }
+
+    fn initialize(&mut self, agg: &Aggregates, ctx: &OpCtx) {
+        let g = |k: &str| agg.max_f64(k).unwrap_or(0.0) as u64;
+        self.global = vec![g("gx"), g("gy"), g("gz")];
+        self.slab = Self::slab_range(ctx.my_rank(), ctx.n_ranks(), self.global[0]);
+        let slab_elems = ((self.slab.1 - self.slab.0) * self.global[1] * self.global[2]) as usize;
+        self.buffers = (0..self.vars.len())
+            .map(|_| DataArray::zeros(Dtype::F64, slab_elems))
+            .collect();
+    }
+
+    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged> {
+        let n_ranks = ctx.n_ranks();
+        let mut out = Vec::new();
+        for (vi, var) in self.vars.iter().enumerate() {
+            let Some(v) = chunk.pg.var(var) else { continue };
+            let Some(data) = v.data.as_f64() else {
+                continue;
+            };
+            if v.global.len() != 3 {
+                continue;
+            }
+            // Split the chunk along dim 0 by destination slab.
+            let (o, l) = (&v.offset, &v.local);
+            let mut d0 = o[0];
+            while d0 < o[0] + l[0] {
+                let dest = Self::slab_of(d0, n_ranks, self.global[0]);
+                let (_, slab_hi) = Self::slab_range(dest, n_ranks, self.global[0]);
+                let hi = (o[0] + l[0]).min(slab_hi);
+                // Rows d0..hi of the chunk go to `dest` as one piece.
+                let rows_per_d0 = (l[1] * l[2]) as usize;
+                let start = ((d0 - o[0]) as usize) * rows_per_d0;
+                let end = ((hi - o[0]) as usize) * rows_per_d0;
+                let mut bytes = Vec::with_capacity(8 * 7 + (end - start) * 8);
+                for v in [vi as u64, d0, o[1], o[2], hi - d0, l[1], l[2]] {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                for x in &data[start..end] {
+                    bytes.extend_from_slice(&x.to_le_bytes());
+                }
+                out.push(Tagged::new(dest as u64, bytes));
+                d0 = hi;
+            }
+        }
+        out
+    }
+
+    /// Tags are destination ranks directly.
+    fn partition(&self, tag: u64, n_ranks: usize) -> usize {
+        (tag as usize).min(n_ranks - 1)
+    }
+
+    fn reduce(&mut self, _tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+        let slab_extents = [self.slab.1 - self.slab.0, self.global[1], self.global[2]];
+        for item in items {
+            let h: Vec<u64> = (0..7)
+                .map(|i| u64::from_le_bytes(item[i * 8..i * 8 + 8].try_into().unwrap()))
+                .collect();
+            let (vi, d0, o1, o2, n0, n1, n2) = (h[0] as usize, h[1], h[2], h[3], h[4], h[5], h[6]);
+            let n = (n0 * n1 * n2) as usize;
+            let data: Vec<f64> = item[56..56 + n * 8]
+                .chunks_exact(8)
+                .map(|w| f64::from_le_bytes(w.try_into().unwrap()))
+                .collect();
+            debug_assert_eq!(linear_len(&[n0, n1, n2]) as usize, data.len());
+            copy_box(
+                &DataArray::F64(data),
+                &mut self.buffers[vi],
+                &[d0 - self.slab.0, o1, o2],
+                &[n0, n1, n2],
+                &slab_extents,
+            )
+            .expect("piece fits its slab");
+        }
+    }
+
+    fn finalize(&mut self, ctx: &OpCtx) -> OpResult {
+        let mut result = OpResult {
+            op: "reorg".into(),
+            ..Default::default()
+        };
+        result.values.set("slab_lo", Value::U64(self.slab.0));
+        result.values.set("slab_hi", Value::U64(self.slab.1));
+
+        // One merged file per pipeline rank: each variable is a single
+        // contiguous slab extent of the global array.
+        let path = ctx
+            .out_dir
+            .join(format!("merged_step{}_rank{}.bp", ctx.step, ctx.my_rank()));
+        let slab_rows = self.slab.1 - self.slab.0;
+        let mut vars = vec![
+            bpio::VarDef::scalar("gx", Dtype::U64),
+            bpio::VarDef::scalar("gy", Dtype::U64),
+            bpio::VarDef::scalar("gz", Dtype::U64),
+            bpio::VarDef::scalar("lo", Dtype::U64),
+            bpio::VarDef::scalar("rows", Dtype::U64),
+        ];
+        for v in &self.vars {
+            vars.push(bpio::VarDef::global_chunk(
+                v,
+                Dtype::F64,
+                vec![bpio::Dim::r("gx"), bpio::Dim::r("gy"), bpio::Dim::r("gz")],
+                vec![bpio::Dim::r("rows"), bpio::Dim::r("gy"), bpio::Dim::r("gz")],
+                vec![bpio::Dim::r("lo"), bpio::Dim::c(0), bpio::Dim::c(0)],
+            ));
+        }
+        let def = bpio::GroupDef::new("merged", vars).expect("static group");
+        if let Ok(mut w) = bpio::BpWriter::create(&path) {
+            w.annotate("layout", "merged");
+            w.annotate("prepared_by", "predata/reorg");
+            let mut pg = bpio::ProcessGroup::new("merged", ctx.my_rank() as u64, ctx.step);
+            for (name, val) in [
+                ("gx", self.global[0]),
+                ("gy", self.global[1]),
+                ("gz", self.global[2]),
+                ("lo", self.slab.0),
+                ("rows", slab_rows),
+            ] {
+                pg.write(&def, name, DataArray::U64(vec![val])).unwrap();
+            }
+            for (i, v) in self.vars.iter().enumerate() {
+                pg.write(
+                    &def,
+                    v,
+                    std::mem::replace(&mut self.buffers[i], DataArray::zeros(Dtype::F64, 0)),
+                )
+                .unwrap();
+            }
+            if w.append_pg(&pg).is_ok() && w.finish().is_ok() {
+                result.files.push(path);
+            }
+        }
+        self.buffers.clear();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::complete_pipeline;
+    use crate::schema::{make_pixie_pg, PIXIE_FIELDS};
+    use ffs::AttrList;
+    use minimpi::World;
+    use std::collections::HashMap;
+
+    #[test]
+    fn slab_ranges_tile_dimension() {
+        for n in [1usize, 2, 3, 4] {
+            let mut covered = 0;
+            for r in 0..n {
+                let (lo, hi) = ReorgOp::slab_range(r, n, 10);
+                assert_eq!(lo, covered);
+                covered = hi;
+                for d0 in lo..hi {
+                    assert_eq!(ReorgOp::slab_of(d0, n, 10), r);
+                }
+            }
+            assert_eq!(covered, 10);
+        }
+    }
+
+    #[test]
+    fn merges_2x2x2_decomposition_into_slabs() {
+        // Global 8x4x4, decomposed into 8 chunks of 4x2x2 by 2 pipeline
+        // ranks; each rank maps 4 chunks.
+        let out = World::run(2, |comm| {
+            let mut op = ReorgOp::pixie3d();
+            let dir = std::env::temp_dir().join(format!(
+                "reorg-test-{}-{}",
+                std::process::id(),
+                comm.rank()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 8,
+                agg: None,
+            };
+
+            let mut a = AttrList::new();
+            a.set("gx", Value::U64(8));
+            a.set("gy", Value::U64(4));
+            a.set("gz", Value::U64(4));
+            op.initialize(&Aggregates::local_only(&[(0, a)]), &ctx);
+
+            // Chunks owned by this pipeline rank: compute ranks r where
+            // r % 2 == comm.rank(). Offsets over a 2x2x2 block grid.
+            let mut mapped = Vec::new();
+            for cr in (0..8u64).filter(|r| *r as usize % 2 == comm.rank()) {
+                let off = [(cr / 4) * 4, (cr / 2 % 2) * 2, (cr % 2) * 2];
+                // Field value = global linear index so the merge is checkable.
+                let fields: HashMap<&str, Vec<f64>> = PIXIE_FIELDS
+                    .iter()
+                    .map(|&f| {
+                        let mut v = Vec::with_capacity(16);
+                        for i in 0..4 {
+                            for j in 0..2 {
+                                for k in 0..2 {
+                                    let g = ((off[0] + i) * 16 + (off[1] + j) * 4 + (off[2] + k))
+                                        as f64;
+                                    v.push(g);
+                                }
+                            }
+                        }
+                        (f, v)
+                    })
+                    .collect();
+                let pg = make_pixie_pg(cr, 0, [4, 2, 2], [8, 4, 4], off, fields);
+                mapped.extend(op.map(&PackedChunk::new(pg), &ctx));
+            }
+            let result = complete_pipeline(&mut op, mapped, &ctx);
+            let path = result.files[0].clone();
+            let mut r = bpio::BpReader::open(&path).unwrap();
+            let idx = r.index().chunks_of("rho", 0)[0].clone();
+            let data = r
+                .read_box("rho", 0, &idx.offset_in_global, &idx.local)
+                .unwrap();
+            let stats = r.take_stats();
+            std::fs::remove_dir_all(&dir).ok();
+            (
+                idx.offset_in_global.clone(),
+                data.as_f64().unwrap().to_vec(),
+                stats.reads,
+            )
+        });
+        // Rank 0 owns rows 0..4, rank 1 rows 4..8; values = global index.
+        for (rank, (off, data, reads)) in out.iter().enumerate() {
+            assert_eq!(off[0], rank as u64 * 4);
+            let expect: Vec<f64> = (rank as u64 * 64..rank as u64 * 64 + 64)
+                .map(|x| x as f64)
+                .collect();
+            assert_eq!(data, &expect, "slab of rank {rank}");
+            assert_eq!(*reads, 1, "merged slab reads back in ONE contiguous op");
+        }
+    }
+
+    #[test]
+    fn chunk_spanning_slab_boundary_is_split() {
+        let out = World::run(2, |comm| {
+            let mut op = ReorgOp::new(vec!["rho".into()]);
+            let dir = std::env::temp_dir().join(format!(
+                "reorg-split-{}-{}",
+                std::process::id(),
+                comm.rank()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 1,
+                agg: None,
+            };
+            let mut a = AttrList::new();
+            a.set("gx", Value::U64(4));
+            a.set("gy", Value::U64(1));
+            a.set("gz", Value::U64(1));
+            op.initialize(&Aggregates::local_only(&[(0, a)]), &ctx);
+
+            // One chunk covering the whole 4x1x1 global, mapped on rank 0:
+            // must split into two pieces (rows 0-1 → rank 0, rows 2-3 → rank 1).
+            let mapped = if comm.rank() == 0 {
+                let def = crate::schema::pixie3d_group([4, 1, 1]);
+                let mut pg = bpio::ProcessGroup::new("pixie3d", 0, 0);
+                for (n, v) in [
+                    ("gx", 4u64),
+                    ("gy", 1),
+                    ("gz", 1),
+                    ("ox", 0),
+                    ("oy", 0),
+                    ("oz", 0),
+                ] {
+                    pg.write(&def, n, DataArray::U64(vec![v])).unwrap();
+                }
+                for f in crate::schema::PIXIE_FIELDS {
+                    pg.write(&def, f, DataArray::F64(vec![10.0, 11.0, 12.0, 13.0]))
+                        .unwrap();
+                }
+                let m = op.map(&PackedChunk::new(pg), &ctx);
+                assert_eq!(m.len(), 2, "boundary-spanning chunk splits into 2 pieces");
+                m
+            } else {
+                Vec::new()
+            };
+            let result = complete_pipeline(&mut op, mapped, &ctx);
+            let mut r = bpio::BpReader::open(&result.files[0]).unwrap();
+            let idx = r.index().chunks_of("rho", 0)[0].clone();
+            let d = r
+                .read_box("rho", 0, &idx.offset_in_global, &idx.local)
+                .unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            d.as_f64().unwrap().to_vec()
+        });
+        assert_eq!(out[0], vec![10.0, 11.0]);
+        assert_eq!(out[1], vec![12.0, 13.0]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Global particle sort by the (rank, id) label (GTC task 1).
+//!
+//! Particles migrate between processes as the simulation runs, so each
+//! dump's two particle arrays are out of label order. Tracking a particle
+//! across hundreds of 260 GB files needs label-sorted data. The operation
+//! is communication-intensive — an all-to-all key-range exchange — with
+//! minimal computation, the profile that makes its *placement* the
+//! interesting question of paper Fig. 7(a)/(d).
+//!
+//! Pipeline: `map` range-partitions rows by sort key into one bucket per
+//! pipeline rank; the shuffle moves each bucket to its owner; `reduce`
+//! sorts the received rows; `finalize` computes global offsets (an
+//! allgather of bucket sizes) and writes each rank's slice of the global
+//! sorted array as one contiguous BP chunk.
+
+use ffs::Value;
+
+use crate::agg::Aggregates;
+use crate::chunk::PackedChunk;
+use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::schema::{particle_key, particles_of, PARTICLE_WIDTH};
+
+/// Global sort of particle rows by label key.
+pub struct SortOp {
+    /// Number of compute ranks (key-space upper bound), from `initialize`.
+    n_compute_hint: u64,
+    /// Rows received for this rank's key range, sorted in `reduce`.
+    sorted: Vec<f64>,
+    /// Total particles across all ranks, from aggregation.
+    total: u64,
+}
+
+impl SortOp {
+    pub fn new() -> Self {
+        SortOp {
+            n_compute_hint: 1,
+            sorted: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Bucket (pipeline rank) for a sort key: equal key-range split over
+    /// the `(rank << 32)` key space.
+    fn bucket(&self, key: u64, n_ranks: usize) -> usize {
+        let key_max = self.n_compute_hint << 32;
+        ((key.min(key_max - 1) as u128 * n_ranks as u128 / key_max as u128) as usize)
+            .min(n_ranks - 1)
+    }
+}
+
+impl Default for SortOp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputeSideOp for SortOp {
+    fn partial_calculate(&self, pg: &bpio::ProcessGroup, out: &mut ffs::AttrList) {
+        if let Some(np) = crate::schema::particle_count(pg) {
+            out.set("np", Value::U64(np));
+        }
+    }
+}
+
+impl StreamOp for SortOp {
+    fn name(&self) -> &str {
+        "sort"
+    }
+
+    fn initialize(&mut self, agg: &Aggregates, ctx: &OpCtx) {
+        self.total = agg.sum_u64("np");
+        self.n_compute_hint = (ctx.n_compute as u64).max(1);
+        self.sorted.clear();
+    }
+
+    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        let n_ranks = ctx.n_ranks();
+        // One bucket per destination rank; rows appended as raw f64 LE.
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); n_ranks];
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            let b = self.bucket(particle_key(row), n_ranks);
+            for v in row {
+                buckets[b].extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| Tagged::new(i as u64, b))
+            .collect()
+    }
+
+    /// Tags are destination ranks directly.
+    fn partition(&self, tag: u64, n_ranks: usize) -> usize {
+        (tag as usize).min(n_ranks - 1)
+    }
+
+    fn reduce(&mut self, _tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+        let total_rows: usize = items.iter().map(|b| b.len() / (8 * PARTICLE_WIDTH)).sum();
+        let mut rows: Vec<[f64; PARTICLE_WIDTH]> = Vec::with_capacity(total_rows);
+        for blob in items {
+            for row in blob.chunks_exact(8 * PARTICLE_WIDTH) {
+                let mut r = [0f64; PARTICLE_WIDTH];
+                for (i, w) in row.chunks_exact(8).enumerate() {
+                    r[i] = f64::from_le_bytes(w.try_into().unwrap());
+                }
+                rows.push(r);
+            }
+        }
+        rows.sort_by_key(|r| particle_key(r));
+        self.sorted = rows.into_iter().flatten().collect();
+    }
+
+    fn finalize(&mut self, ctx: &OpCtx) -> OpResult {
+        let my_rows = (self.sorted.len() / PARTICLE_WIDTH) as u64;
+        // Global offsets: exclusive prefix over pipeline ranks.
+        let offset = ctx.comm.exscan(my_rows, 0, |a, b| a + b);
+        let total: u64 = ctx.comm.allreduce(my_rows, |a, b| a + b);
+
+        let mut result = OpResult {
+            op: "sort".into(),
+            ..Default::default()
+        };
+        result.values.set("np_sorted", Value::U64(my_rows));
+        result.values.set("np_total", Value::U64(total));
+        result.values.set("offset", Value::U64(offset));
+
+        // Write this rank's contiguous slice of the global sorted array.
+        let path = ctx
+            .out_dir
+            .join(format!("sorted_step{}_rank{}.bp", ctx.step, ctx.my_rank()));
+        let def = bpio::GroupDef::new(
+            "sorted_particles",
+            vec![
+                bpio::VarDef::scalar("np", bpio::Dtype::U64),
+                bpio::VarDef::scalar("total", bpio::Dtype::U64),
+                bpio::VarDef::scalar("offset", bpio::Dtype::U64),
+                bpio::VarDef::global_chunk(
+                    "particles",
+                    bpio::Dtype::F64,
+                    vec![bpio::Dim::r("total"), bpio::Dim::c(8)],
+                    vec![bpio::Dim::r("np"), bpio::Dim::c(8)],
+                    vec![bpio::Dim::r("offset"), bpio::Dim::c(0)],
+                ),
+            ],
+        )
+        .expect("static group");
+        if let Ok(mut w) = bpio::BpWriter::create(&path) {
+            w.annotate("sorted_by", "label");
+            w.annotate("prepared_by", "predata/sort");
+            let mut pg =
+                bpio::ProcessGroup::new("sorted_particles", ctx.my_rank() as u64, ctx.step);
+            pg.write(&def, "np", bpio::DataArray::U64(vec![my_rows]))
+                .unwrap();
+            pg.write(&def, "total", bpio::DataArray::U64(vec![total]))
+                .unwrap();
+            pg.write(&def, "offset", bpio::DataArray::U64(vec![offset]))
+                .unwrap();
+            pg.write(
+                &def,
+                "particles",
+                bpio::DataArray::F64(std::mem::take(&mut self.sorted)),
+            )
+            .unwrap();
+            if w.append_pg(&pg).is_ok() && w.finish().is_ok() {
+                result.files.push(path);
+            }
+        }
+        self.sorted = Vec::new();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::complete_pipeline;
+    use crate::schema::make_particle_pg;
+    use ffs::AttrList;
+    use minimpi::World;
+
+    /// A particle row with the given label, other attrs derived.
+    fn row(rank: u64, id: u64) -> Vec<f64> {
+        vec![
+            rank as f64 * 0.5,
+            id as f64,
+            0.,
+            0.,
+            0.,
+            1.0,
+            rank as f64,
+            id as f64,
+        ]
+    }
+
+    #[test]
+    fn bucket_split_covers_and_orders() {
+        let mut op = SortOp::new();
+        op.n_compute_hint = 4;
+        let n = 3;
+        let mut last = 0;
+        for rank in 0..4u64 {
+            for id in [0u64, 1 << 30, (1 << 32) - 1] {
+                let b = op.bucket((rank << 32) | id, n);
+                assert!(b < n);
+                assert!(b >= last, "buckets must be monotone in key");
+                last = b;
+            }
+        }
+        assert_eq!(op.bucket(0, n), 0);
+        assert_eq!(op.bucket((4u64 << 32) - 1, n), n - 1);
+    }
+
+    #[test]
+    fn sorts_globally_across_pipeline_ranks() {
+        let out = World::run(3, |comm| {
+            let mut op = SortOp::new();
+            let dir = std::env::temp_dir().join(format!(
+                "sort-test-{}-{}",
+                std::process::id(),
+                comm.rank()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 3,
+                agg: None,
+            };
+
+            // Aggregation: 4 particles per compute rank.
+            let pairs: Vec<(usize, AttrList)> = (0..3)
+                .map(|r| {
+                    let mut a = AttrList::new();
+                    a.set("np", Value::U64(4));
+                    (r, a)
+                })
+                .collect();
+            op.initialize(&Aggregates::local_only(&pairs), &ctx);
+
+            // Each pipeline rank maps the chunk of compute rank == its
+            // rank, containing particles with labels scattered across the
+            // whole key space (out-of-order arrival ranks).
+            let me = comm.rank() as u64;
+            let rows: Vec<f64> = [(2 - me, 3), (me, 1), ((me + 1) % 3, 0), (me, 0)]
+                .iter()
+                .flat_map(|&(r, i)| row(r, i))
+                .collect();
+            let chunk = PackedChunk::new(make_particle_pg(me, 0, rows));
+            let mapped = op.map(&chunk, &ctx);
+            let result = complete_pipeline(&mut op, mapped, &ctx);
+
+            // Read back my slice and return (offset, keys).
+            let path = result.files.first().expect("sort writes a file").clone();
+            let mut r = bpio::BpReader::open(&path).unwrap();
+            let me_rank = comm.rank() as u64;
+            let data = r.read_scalar("offset", 0, me_rank).unwrap();
+            let offset = data.as_u64().unwrap()[0];
+            let idx = r.index().chunks_of("particles", 0)[0].clone();
+            let my_rows: Vec<f64> = {
+                let d = r
+                    .read_box("particles", 0, &idx.offset_in_global, &idx.local)
+                    .unwrap();
+                d.as_f64().unwrap().to_vec()
+            };
+            let keys: Vec<u64> = my_rows
+                .chunks_exact(PARTICLE_WIDTH)
+                .map(particle_key)
+                .collect();
+            std::fs::remove_dir_all(&dir).ok();
+            (offset, keys)
+        });
+
+        // Stitch slices by offset; the concatenation must be globally
+        // sorted and contain all 12 particles.
+        let mut slices = out.clone();
+        slices.sort_by_key(|(off, _)| *off);
+        let all: Vec<u64> = slices.into_iter().flat_map(|(_, k)| k).collect();
+        assert_eq!(all.len(), 12);
+        assert!(
+            all.windows(2).all(|w| w[0] <= w[1]),
+            "global order: {all:?}"
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_empty_sorted_file() {
+        let out = World::run(1, |comm| {
+            let mut op = SortOp::new();
+            let dir = std::env::temp_dir().join(format!("sort-empty-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 1,
+                agg: None,
+            };
+            op.initialize(&Aggregates::local_only(&[]), &ctx);
+            let chunk = PackedChunk::new(make_particle_pg(0, 0, vec![]));
+            let mapped = op.map(&chunk, &ctx);
+            let r = complete_pipeline(&mut op, mapped, &ctx);
+            std::fs::remove_dir_all(&dir).ok();
+            (r.values.get_u64("np_sorted"), r.values.get_u64("np_total"))
+        });
+        assert_eq!(out[0], (Some(0), Some(0)));
+    }
+}

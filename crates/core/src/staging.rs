@@ -1,0 +1,534 @@
+//! The staging-area runtime (paper Stages 2–4, Fig. 5).
+//!
+//! The staging area runs as its own SPMD program: each rank owns one
+//! [`transport::StagingEndpoint`], a share of the compute ranks (from the
+//! `Route()` inverse map), and a full set of operator instances. Per I/O
+//! step each rank:
+//!
+//! 1. gathers the fetch requests of the compute ranks it serves,
+//! 2. builds global [`Aggregates`] with one small staging-wide exchange,
+//! 3. `initialize`s every operator,
+//! 4. pulls chunks in the order/pacing of its [`transport::PullPolicy`],
+//!    feeding each decoded chunk through every operator's `map` and
+//!    dropping it — single-pass streaming under a bounded memory
+//!    footprint,
+//! 5. completes each operator's combine → shuffle → reduce → finalize.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use transport::evq::EventQueue;
+
+use ffs::AttrList;
+use minimpi::{Comm, World};
+use transport::{FetchRequest, PullPolicy, Router, StagingEndpoint, TransportError};
+
+use crate::agg::Aggregates;
+use crate::chunk::{ChunkError, PackedChunk};
+use crate::op::{complete_pipeline, OpCtx, OpResult, StreamOp, Tagged};
+
+/// Staging-side failures.
+#[derive(Debug)]
+pub enum StagingError {
+    Transport(TransportError),
+    Chunk(ChunkError),
+    /// A request arrived for a step other than the one being gathered —
+    /// compute ranks must move through steps in lockstep.
+    StepSkew {
+        expected: u64,
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for StagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagingError::Transport(e) => write!(f, "staging transport: {e}"),
+            StagingError::Chunk(e) => write!(f, "staging decode: {e}"),
+            StagingError::StepSkew { expected, got } => {
+                write!(f, "request step skew: gathering step {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StagingError {}
+
+impl From<TransportError> for StagingError {
+    fn from(e: TransportError) -> Self {
+        StagingError::Transport(e)
+    }
+}
+
+impl From<ChunkError> for StagingError {
+    fn from(e: ChunkError) -> Self {
+        StagingError::Chunk(e)
+    }
+}
+
+/// Static configuration of the staging area.
+#[derive(Clone)]
+pub struct StagingConfig {
+    /// Number of compute ranks feeding the area.
+    pub n_compute: usize,
+    /// Directory for operator outputs.
+    pub out_dir: PathBuf,
+    /// Deadline for gathering one step's requests.
+    pub gather_timeout: Duration,
+}
+
+impl StagingConfig {
+    pub fn new(n_compute: usize, out_dir: impl Into<PathBuf>) -> Self {
+        StagingConfig {
+            n_compute,
+            out_dir: out_dir.into(),
+            gather_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one staging rank did for one step.
+#[derive(Debug)]
+pub struct StepReport {
+    pub step: u64,
+    /// Chunks this rank pulled.
+    pub chunks: usize,
+    /// Bulk bytes this rank pulled.
+    pub bytes_pulled: u64,
+    /// Compute ranks in pull order (for scheduling-policy inspection).
+    pub pull_order: Vec<usize>,
+    /// Per-operator results.
+    pub results: Vec<OpResult>,
+}
+
+/// One staging rank: endpoint + communicator + operators + policy.
+pub struct StagingRank {
+    comm: Comm,
+    endpoint: StagingEndpoint,
+    router: Arc<dyn Router>,
+    policy: Box<dyn PullPolicy>,
+    ops: Vec<Box<dyn StreamOp>>,
+    cfg: StagingConfig,
+    /// Requests that arrived early for future steps.
+    stashed: Vec<FetchRequest>,
+}
+
+impl StagingRank {
+    pub fn new(
+        comm: Comm,
+        endpoint: StagingEndpoint,
+        router: Arc<dyn Router>,
+        policy: Box<dyn PullPolicy>,
+        ops: Vec<Box<dyn StreamOp>>,
+        cfg: StagingConfig,
+    ) -> Self {
+        std::fs::create_dir_all(&cfg.out_dir).ok();
+        StagingRank {
+            comm,
+            endpoint,
+            router,
+            policy,
+            ops,
+            cfg,
+            stashed: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Process one I/O step end to end.
+    pub fn run_step(&mut self, step: u64) -> Result<StepReport, StagingError> {
+        let served = self
+            .router
+            .served_by(self.comm.rank(), self.cfg.n_compute, step);
+
+        // --- Stage 2a: gather this step's requests ---
+        let mut pending: Vec<FetchRequest> = Vec::with_capacity(served.len());
+        let mut keep = Vec::new();
+        for r in self.stashed.drain(..) {
+            if r.io_step == step {
+                pending.push(r);
+            } else {
+                keep.push(r);
+            }
+        }
+        self.stashed = keep;
+        while pending.len() < served.len() {
+            let r = self.endpoint.recv_request(self.cfg.gather_timeout)?;
+            if r.io_step == step {
+                pending.push(r);
+            } else if r.io_step > step {
+                self.stashed.push(r);
+            } else {
+                return Err(StagingError::StepSkew {
+                    expected: step,
+                    got: r.io_step,
+                });
+            }
+        }
+
+        // --- Stage 2b: aggregate attached partial results globally ---
+        let local: Vec<(usize, AttrList)> = pending
+            .iter()
+            .map(|r| (r.src_rank, r.attrs.clone()))
+            .collect();
+        let agg = Aggregates::build(&local, &self.comm);
+        let ctx = OpCtx {
+            comm: &self.comm,
+            out_dir: &self.cfg.out_dir,
+            step,
+            n_compute: self.cfg.n_compute,
+            agg: Some(&agg),
+        };
+        for op in &mut self.ops {
+            op.initialize(&agg, &ctx);
+        }
+
+        // --- Stage 3 + 4a: scheduled pulls, streaming map ---
+        //
+        // Each staging process runs "multiple threads that exploit
+        // concurrency in different parts of the execution flow" (§IV-C):
+        // a puller thread issues the scheduled RDMA gets and feeds a
+        // *bounded* event queue (back-pressure keeps the streaming memory
+        // footprint at a few chunks), while this thread decodes chunks
+        // and drives every operator's map.
+        self.policy.order(&mut pending);
+        let mut mapped: Vec<Vec<Tagged>> = (0..self.ops.len()).map(|_| Vec::new()).collect();
+        let mut bytes_pulled = 0u64;
+        let mut pull_order = Vec::with_capacity(pending.len());
+        let n_chunks = pending.len();
+        type PullItem = Result<(usize, Arc<[u8]>), TransportError>;
+        let queue: EventQueue<PullItem> = EventQueue::bounded(self.policy.max_inflight().max(1));
+        let mut pull_err = None;
+        // Raised by the consumer if it gives up (timeout); the puller
+        // checks it instead of blocking forever on the full queue.
+        let cancelled = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| -> Result<(), StagingError> {
+            let endpoint = &self.endpoint;
+            let policy = &self.policy;
+            let tx = &queue;
+            let cancelled = &cancelled;
+            scope.spawn(move || {
+                'pulls: for req in &pending {
+                    while policy.should_defer() {
+                        if cancelled.load(std::sync::atomic::Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    let res = endpoint.rdma_get(req).map(|buf| (req.src_rank, buf));
+                    let failed = res.is_err();
+                    // Never block indefinitely on the bounded queue: the
+                    // consumer may have abandoned the step.
+                    let mut item = res;
+                    loop {
+                        match tx.try_submit(item) {
+                            Ok(()) => break,
+                            Err(transport::evq::SubmitError::Full(v)) => {
+                                if cancelled.load(std::sync::atomic::Ordering::Acquire) {
+                                    return;
+                                }
+                                item = v;
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(transport::evq::SubmitError::Closed(_)) => return,
+                        }
+                    }
+                    if failed {
+                        break 'pulls;
+                    }
+                }
+            });
+            let mut decode_err: Option<StagingError> = None;
+            for _ in 0..n_chunks {
+                let Some(item) = queue.poll(self.cfg.gather_timeout) else {
+                    pull_err = Some(TransportError::Timeout);
+                    cancelled.store(true, std::sync::atomic::Ordering::Release);
+                    break;
+                };
+                match item {
+                    // After a decode failure, keep draining the queue so
+                    // the puller never blocks on the bounded channel; the
+                    // payloads are dropped unprocessed.
+                    Ok(_) if decode_err.is_some() => {}
+                    Ok((src_rank, buf)) => {
+                        bytes_pulled += buf.len() as u64;
+                        pull_order.push(src_rank);
+                        match PackedChunk::unpack(&buf) {
+                            Ok(chunk) => {
+                                drop(buf); // single-pass: bytes released before the next map
+                                for (i, op) in self.ops.iter_mut().enumerate() {
+                                    mapped[i].extend(op.map(&chunk, &ctx));
+                                }
+                                // `chunk` dropped here — streaming memory bound.
+                            }
+                            Err(e) => decode_err = Some(e.into()),
+                        }
+                    }
+                    Err(e) => {
+                        // The puller stops after its first error; nothing
+                        // more will arrive.
+                        pull_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match decode_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+        if let Some(e) = pull_err {
+            return Err(StagingError::Transport(e));
+        }
+
+        // --- Stage 4b: combine / shuffle / reduce / finalize per op ---
+        let mut results = Vec::with_capacity(self.ops.len());
+        for (op, m) in self.ops.iter_mut().zip(mapped) {
+            results.push(complete_pipeline(op.as_mut(), m, &ctx));
+        }
+
+        Ok(StepReport {
+            step,
+            chunks: n_chunks,
+            bytes_pulled,
+            pull_order,
+            results,
+        })
+    }
+}
+
+/// Factory signature for per-rank operator sets.
+pub type OpsFactory = dyn Fn(usize) -> Vec<Box<dyn StreamOp>> + Send + Sync;
+/// Factory signature for per-rank pull policies.
+pub type PolicyFactory = dyn Fn(usize) -> Box<dyn PullPolicy> + Send + Sync;
+
+/// Orchestrates a whole staging area on threads: its own "MPI program",
+/// launched independently from the simulation (paper §IV-C).
+pub struct StagingArea {
+    handles: Vec<std::thread::JoinHandle<Result<Vec<StepReport>, StagingError>>>,
+}
+
+impl StagingArea {
+    /// Launch one thread per staging endpoint, each processing steps
+    /// `0..n_steps`. `ops` and `policy` build each rank's instances.
+    pub fn spawn(
+        endpoints: Vec<StagingEndpoint>,
+        router: Arc<dyn Router>,
+        ops: Arc<OpsFactory>,
+        policy: Arc<PolicyFactory>,
+        cfg: StagingConfig,
+        n_steps: u64,
+    ) -> StagingArea {
+        let n = endpoints.len();
+        let (_world, comms) = World::with_size(n);
+        let handles = endpoints
+            .into_iter()
+            .zip(comms)
+            .map(|(endpoint, comm)| {
+                let router = Arc::clone(&router);
+                let ops = Arc::clone(&ops);
+                let policy = Arc::clone(&policy);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("staging{}", endpoint.rank()))
+                    .spawn(move || {
+                        let rank = comm.rank();
+                        let mut sr =
+                            StagingRank::new(comm, endpoint, router, policy(rank), ops(rank), cfg);
+                        (0..n_steps).map(|s| sr.run_step(s)).collect()
+                    })
+                    .expect("spawn staging thread")
+            })
+            .collect();
+        StagingArea { handles }
+    }
+
+    /// Wait for every staging rank; returns per-rank step reports.
+    pub fn join(self) -> Vec<Result<Vec<StepReport>, StagingError>> {
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("staging rank panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PredataClient;
+    use crate::ops::HistogramOp;
+    use crate::schema::make_particle_pg;
+    use transport::{BlockRouter, Fabric, FifoPolicy, LargestFirstPolicy};
+
+    fn out_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("staging-test-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// 4 compute ranks → 2 staging ranks, histogram over column 0,
+    /// 2 steps. Verifies counts, routing, and streaming.
+    #[test]
+    fn end_to_end_histogram_two_steps() {
+        let n_compute = 4;
+        let n_staging = 2;
+        let (_fabric, computes, stagings) = Fabric::new(n_compute, n_staging, None);
+        let router: Arc<dyn Router> = Arc::new(BlockRouter::new(n_compute, n_staging));
+        let dir = out_dir("e2e");
+
+        let area = StagingArea::spawn(
+            stagings,
+            Arc::clone(&router),
+            Arc::new(|_| vec![Box::new(HistogramOp::new(vec![0], 4)) as Box<dyn StreamOp>]),
+            Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+            StagingConfig::new(n_compute, &dir),
+            2,
+        );
+
+        // Compute side: each rank writes 8 particles per step, x spread
+        // uniformly over [0, 16).
+        let clients: Vec<PredataClient> = computes
+            .into_iter()
+            .map(|e| {
+                PredataClient::new(
+                    e,
+                    Arc::clone(&router),
+                    vec![Arc::new(HistogramOp::new(vec![0], 4))],
+                )
+            })
+            .collect();
+        for step in 0..2u64 {
+            for (r, c) in clients.iter().enumerate() {
+                let rows: Vec<f64> = (0..4)
+                    .flat_map(|i| vec![(r * 4 + i) as f64, 0., 0., 0., 0., 0., r as f64, i as f64])
+                    .collect();
+                c.write_pg(make_particle_pg(r as u64, step, rows)).unwrap();
+            }
+        }
+
+        let reports = area.join();
+        let mut total_hist = vec![0u64; 4];
+        for rank_reports in reports {
+            let steps = rank_reports.expect("staging rank succeeded");
+            assert_eq!(steps.len(), 2);
+            for rep in steps {
+                assert_eq!(rep.chunks, 2, "block router: 2 compute ranks each");
+                for res in &rep.results {
+                    if let Some(ffs::Value::ArrU64(bins)) = res.values.get("hist_x") {
+                        for (i, b) in bins.iter().enumerate() {
+                            total_hist[i] += b;
+                        }
+                    }
+                }
+            }
+        }
+        // 16 values 0..16 per step × 2 steps over 4 bins of width 4.
+        assert_eq!(total_hist, vec![8, 8, 8, 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pull_policy_controls_order() {
+        let n_compute = 3;
+        let (_fabric, computes, stagings) = Fabric::new(n_compute, 1, None);
+        let router: Arc<dyn Router> = Arc::new(BlockRouter::new(n_compute, 1));
+        let dir = out_dir("order");
+
+        let area = StagingArea::spawn(
+            stagings,
+            Arc::clone(&router),
+            Arc::new(|_| Vec::new()),
+            Arc::new(|_| Box::new(LargestFirstPolicy) as Box<dyn PullPolicy>),
+            StagingConfig::new(n_compute, &dir),
+            1,
+        );
+
+        // Rank r writes r+1 particles → sizes 1 < 2 < 3.
+        let clients: Vec<PredataClient> = computes
+            .into_iter()
+            .map(|e| PredataClient::new(e, Arc::clone(&router), vec![]))
+            .collect();
+        for (r, c) in clients.iter().enumerate() {
+            c.write_pg(make_particle_pg(r as u64, 0, vec![0.0; (r + 1) * 8]))
+                .unwrap();
+        }
+
+        let reports = area.join();
+        let rep = &reports[0].as_ref().unwrap()[0];
+        assert_eq!(rep.pull_order, vec![2, 1, 0], "largest chunk first");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_request_times_out() {
+        let (_fabric, _computes, stagings) = Fabric::new(2, 1, None);
+        let router: Arc<dyn Router> = Arc::new(BlockRouter::new(2, 1));
+        let dir = out_dir("timeout");
+        let mut cfg = StagingConfig::new(2, &dir);
+        cfg.gather_timeout = Duration::from_millis(30);
+        let area = StagingArea::spawn(
+            stagings,
+            router,
+            Arc::new(|_| Vec::new()),
+            Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+            cfg,
+            1,
+        );
+        // Nobody writes: staging must fail with a timeout, not hang.
+        let reports = area.join();
+        assert!(matches!(
+            reports[0],
+            Err(StagingError::Transport(TransportError::Timeout))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn early_requests_for_future_steps_are_stashed() {
+        let n_compute = 2;
+        let (_fabric, computes, stagings) = Fabric::new(n_compute, 1, None);
+        let router: Arc<dyn Router> = Arc::new(BlockRouter::new(n_compute, 1));
+        let dir = out_dir("stash");
+        let clients: Vec<PredataClient> = computes
+            .into_iter()
+            .map(|e| PredataClient::new(e, Arc::clone(&router), vec![]))
+            .collect();
+
+        // Rank 0 races ahead: writes step 0 AND step 1 before rank 1
+        // writes step 0.
+        clients[0]
+            .write_pg(make_particle_pg(0, 0, vec![0.0; 8]))
+            .unwrap();
+        clients[0]
+            .write_pg(make_particle_pg(0, 1, vec![0.0; 8]))
+            .unwrap();
+        clients[1]
+            .write_pg(make_particle_pg(1, 0, vec![0.0; 8]))
+            .unwrap();
+        clients[1]
+            .write_pg(make_particle_pg(1, 1, vec![0.0; 8]))
+            .unwrap();
+
+        let area = StagingArea::spawn(
+            stagings,
+            router,
+            Arc::new(|_| Vec::new()),
+            Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+            StagingConfig::new(n_compute, &dir),
+            2,
+        );
+        let reports = area.join();
+        let steps = reports
+            .into_iter()
+            .next()
+            .unwrap()
+            .expect("both steps complete");
+        assert_eq!(steps.len(), 2);
+        assert!(steps.iter().all(|s| s.chunks == 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type.
+
+use std::fmt;
+
+/// DataSpaces failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsError {
+    /// Region rank does not match the domain rank.
+    RankMismatch { domain: usize, region: usize },
+    /// Region exceeds the domain bounds.
+    OutOfDomain,
+    /// Get found holes: parts of the region were never put.
+    Incomplete { missing_elems: u64 },
+    /// Waited past the deadline for a version to be committed.
+    VersionTimeout { var: String, version: u64 },
+    /// Put data length does not match the region volume.
+    LengthMismatch { expected: u64, got: u64 },
+    /// Mixed element types for one variable.
+    DtypeMismatch,
+}
+
+impl fmt::Display for DsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsError::RankMismatch { domain, region } => {
+                write!(
+                    f,
+                    "region rank {region} does not match domain rank {domain}"
+                )
+            }
+            DsError::OutOfDomain => write!(f, "region exceeds domain bounds"),
+            DsError::Incomplete { missing_elems } => {
+                write!(f, "get region has {missing_elems} elements never put")
+            }
+            DsError::VersionTimeout { var, version } => {
+                write!(f, "timed out waiting for `{var}` version {version} commit")
+            }
+            DsError::LengthMismatch { expected, got } => {
+                write!(f, "put data has {got} elements, region holds {expected}")
+            }
+            DsError::DtypeMismatch => write!(f, "variable written with conflicting dtypes"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}

@@ -1,0 +1,696 @@
+//! The shared space: shards, directory, coherence, queries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bpio::{copy_box_between, DataArray, Dtype};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::domain::{DsConfig, Region};
+use crate::error::DsError;
+
+/// Key of one stored block.
+type BlockKey = (String, u64, Vec<u64>); // (var, version, grid coord)
+
+/// One stored block: the clipped block region, its data, and a per-element
+/// fill mask (puts may cover a block partially, from several writers).
+struct Block {
+    region: Region,
+    data: DataArray,
+    filled: Vec<u64>, // bitmask words
+    n_filled: u64,
+}
+
+impl Block {
+    fn new(region: Region, dtype: Dtype) -> Self {
+        let n = region.volume() as usize;
+        Block {
+            data: DataArray::zeros(dtype, n),
+            filled: vec![0; n.div_ceil(64)],
+            n_filled: 0,
+            region,
+        }
+    }
+
+    fn mark(&mut self, local_idx: u64) {
+        let w = (local_idx / 64) as usize;
+        let b = 1u64 << (local_idx % 64);
+        if self.filled[w] & b == 0 {
+            self.filled[w] |= b;
+            self.n_filled += 1;
+        }
+    }
+
+    fn is_set(&self, local_idx: u64) -> bool {
+        self.filled[(local_idx / 64) as usize] & (1 << (local_idx % 64)) != 0
+    }
+}
+
+/// One server shard: its slice of the block store.
+#[derive(Default)]
+struct Shard {
+    blocks: RwLock<HashMap<BlockKey, Block>>,
+}
+
+/// Per-variable directory entry (sharded by variable-name hash).
+#[derive(Default, Clone)]
+struct VarMeta {
+    dtype: Option<Dtype>,
+    committed: Vec<u64>,
+}
+
+/// A continuous-query notification: new data intersecting a subscribed
+/// region was put.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    pub var: String,
+    pub version: u64,
+    /// The intersection of the put with the subscribed region.
+    pub region: Region,
+}
+
+struct Subscription {
+    var: String,
+    region: Region,
+    tx: Sender<Notification>,
+}
+
+/// Aggregation queries supported over regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    Min,
+    Max,
+    Sum,
+    Count,
+    Avg,
+}
+
+/// Operation counters.
+#[derive(Debug, Default)]
+pub struct SpaceStats {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub bytes_put: AtomicU64,
+    pub bytes_got: AtomicU64,
+    pub blocks_touched: AtomicU64,
+    pub notifications: AtomicU64,
+}
+
+/// The virtual shared space. Thread-safe: writers (staging operators) and
+/// readers (querying applications) call it concurrently.
+pub struct DataSpaces {
+    cfg: DsConfig,
+    shards: Vec<Shard>,
+    dirs: Vec<RwLock<HashMap<String, VarMeta>>>,
+    commit_lock: Mutex<()>,
+    commit_cv: Condvar,
+    subs: Mutex<Vec<Subscription>>,
+    stats: SpaceStats,
+}
+
+impl DataSpaces {
+    pub fn new(cfg: DsConfig) -> Self {
+        let shards = (0..cfg.n_shards).map(|_| Shard::default()).collect();
+        let dirs = (0..cfg.n_shards)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
+        DataSpaces {
+            cfg,
+            shards,
+            dirs,
+            commit_lock: Mutex::new(()),
+            commit_cv: Condvar::new(),
+            subs: Mutex::new(Vec::new()),
+            stats: SpaceStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &DsConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &SpaceStats {
+        &self.stats
+    }
+
+    /// Insert `data` (row-major over `region`) as version `version` of
+    /// `var`. Data is split into blocks hashed across shards; concurrent
+    /// puts to disjoint regions are lock-compatible per shard.
+    pub fn put(
+        &self,
+        var: &str,
+        version: u64,
+        region: &Region,
+        data: DataArray,
+    ) -> Result<(), DsError> {
+        self.cfg.check(region)?;
+        if data.len() as u64 != region.volume() {
+            return Err(DsError::LengthMismatch {
+                expected: region.volume(),
+                got: data.len() as u64,
+            });
+        }
+        let dtype = data.dtype();
+        // Directory: register dtype (first writer wins; conflicts error).
+        {
+            let mut dir = self.dirs[self.cfg.dir_shard_of(var)].write();
+            let meta = dir.entry(var.to_string()).or_default();
+            match meta.dtype {
+                None => meta.dtype = Some(dtype),
+                Some(d) if d == dtype => {}
+                Some(_) => return Err(DsError::DtypeMismatch),
+            }
+        }
+
+        for g in self.cfg.blocks_of(region) {
+            let block_region = self.cfg.block_region(&g);
+            let isect = block_region
+                .intersect(region)
+                .expect("blocks_of returned it");
+            let shard = &self.shards[self.cfg.shard_of(&g)];
+            let mut blocks = shard.blocks.write();
+            let key = (var.to_string(), version, g.clone());
+            let block = blocks
+                .entry(key)
+                .or_insert_with(|| Block::new(block_region.clone(), dtype));
+            copy_box_between(
+                &data,
+                &region.corner,
+                &region.extent,
+                &mut block.data,
+                &block.region.corner,
+                &block.region.extent,
+                &isect.corner,
+                &isect.extent,
+            )
+            .map_err(|_| DsError::DtypeMismatch)?;
+            // Mark fill per element of the intersection.
+            mark_region(block, &isect);
+            self.stats.blocks_touched.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_put
+            .fetch_add(data.byte_len() as u64, Ordering::Relaxed);
+
+        // Continuous queries: notify intersecting subscriptions.
+        let subs = self.subs.lock();
+        for s in subs.iter() {
+            if s.var == var {
+                if let Some(hit) = s.region.intersect(region) {
+                    if s.tx
+                        .send(Notification {
+                            var: var.to_string(),
+                            version,
+                            region: hit,
+                        })
+                        .is_ok()
+                    {
+                        self.stats.notifications.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare version `version` of `var` complete; unblocks waiting
+    /// getters (the coherence protocol's publication point).
+    pub fn commit(&self, var: &str, version: u64) {
+        {
+            let mut dir = self.dirs[self.cfg.dir_shard_of(var)].write();
+            let meta = dir.entry(var.to_string()).or_default();
+            if !meta.committed.contains(&version) {
+                meta.committed.push(version);
+            }
+        }
+        let _g = self.commit_lock.lock();
+        self.commit_cv.notify_all();
+    }
+
+    pub fn is_committed(&self, var: &str, version: u64) -> bool {
+        self.dirs[self.cfg.dir_shard_of(var)]
+            .read()
+            .get(var)
+            .is_some_and(|m| m.committed.contains(&version))
+    }
+
+    /// Block until `version` of `var` is committed, up to `timeout`.
+    pub fn wait_committed(
+        &self,
+        var: &str,
+        version: u64,
+        timeout: Duration,
+    ) -> Result<(), DsError> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.commit_lock.lock();
+        while !self.is_committed(var, version) {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DsError::VersionTimeout {
+                    var: var.to_string(),
+                    version,
+                });
+            }
+            self.commit_cv.wait_for(&mut guard, deadline - now);
+        }
+        Ok(())
+    }
+
+    /// Retrieve the data of `region` at `version`, waiting for the commit
+    /// first. Errors if parts of the region were never put.
+    pub fn get(
+        &self,
+        var: &str,
+        version: u64,
+        region: &Region,
+        timeout: Duration,
+    ) -> Result<DataArray, DsError> {
+        self.wait_committed(var, version, timeout)?;
+        self.get_nowait(var, version, region)
+    }
+
+    /// Retrieve without coherence (reader manages synchronization).
+    pub fn get_nowait(
+        &self,
+        var: &str,
+        version: u64,
+        region: &Region,
+    ) -> Result<DataArray, DsError> {
+        self.cfg.check(region)?;
+        let dtype = self.dirs[self.cfg.dir_shard_of(var)]
+            .read()
+            .get(var)
+            .and_then(|m| m.dtype)
+            .ok_or(DsError::Incomplete {
+                missing_elems: region.volume(),
+            })?;
+        let mut out = DataArray::zeros(dtype, region.volume() as usize);
+        let mut covered: u64 = 0;
+        for g in self.cfg.blocks_of(region) {
+            let shard = &self.shards[self.cfg.shard_of(&g)];
+            let blocks = shard.blocks.read();
+            let key = (var.to_string(), version, g.clone());
+            let Some(block) = blocks.get(&key) else {
+                continue;
+            };
+            let isect = block
+                .region
+                .intersect(region)
+                .expect("block intersects query");
+            covered += count_filled(block, &isect);
+            copy_box_between(
+                &block.data,
+                &block.region.corner,
+                &block.region.extent,
+                &mut out,
+                &region.corner,
+                &region.extent,
+                &isect.corner,
+                &isect.extent,
+            )
+            .map_err(|_| DsError::DtypeMismatch)?;
+            self.stats.blocks_touched.fetch_add(1, Ordering::Relaxed);
+        }
+        if covered != region.volume() {
+            return Err(DsError::Incomplete {
+                missing_elems: region.volume() - covered,
+            });
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_got
+            .fetch_add(out.byte_len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Aggregation query over a region (paper: "max/min/average value for
+    /// a particular field in a given sub-region"). Streams block by block;
+    /// never materializes the full region.
+    pub fn reduce(
+        &self,
+        var: &str,
+        version: u64,
+        region: &Region,
+        how: Reduction,
+        timeout: Duration,
+    ) -> Result<f64, DsError> {
+        self.wait_committed(var, version, timeout)?;
+        self.cfg.check(region)?;
+        let mut acc = match how {
+            Reduction::Min => f64::INFINITY,
+            Reduction::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        };
+        let mut count: u64 = 0;
+        for g in self.cfg.blocks_of(region) {
+            let shard = &self.shards[self.cfg.shard_of(&g)];
+            let blocks = shard.blocks.read();
+            let key = (var.to_string(), version, g.clone());
+            let Some(block) = blocks.get(&key) else {
+                continue;
+            };
+            let isect = block
+                .region
+                .intersect(region)
+                .expect("block intersects query");
+            for_each_filled(block, &isect, |v| {
+                count += 1;
+                match how {
+                    Reduction::Min => acc = acc.min(v),
+                    Reduction::Max => acc = acc.max(v),
+                    Reduction::Sum | Reduction::Avg => acc += v,
+                    Reduction::Count => {}
+                }
+            });
+        }
+        Ok(match how {
+            Reduction::Count => count as f64,
+            Reduction::Avg if count > 0 => acc / count as f64,
+            Reduction::Avg => f64::NAN,
+            _ => acc,
+        })
+    }
+
+    /// Register a continuous query: the returned channel receives a
+    /// [`Notification`] for every future put intersecting `region`.
+    pub fn subscribe(&self, var: &str, region: Region) -> Receiver<Notification> {
+        let (tx, rx) = unbounded();
+        self.subs.lock().push(Subscription {
+            var: var.to_string(),
+            region,
+            tx,
+        });
+        rx
+    }
+
+    /// Blocks held per shard — exposes the first-level load balance.
+    pub fn shard_block_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.blocks.read().len()).collect()
+    }
+
+    /// Drop all blocks of versions older than `keep_from` (staging memory
+    /// is finite; old versions are evicted once consumers move on).
+    pub fn evict_before(&self, var: &str, keep_from: u64) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut blocks = shard.blocks.write();
+            let before = blocks.len();
+            blocks.retain(|(v, ver, _), _| v != var || *ver >= keep_from);
+            dropped += before - blocks.len();
+        }
+        let mut dir = self.dirs[self.cfg.dir_shard_of(var)].write();
+        if let Some(meta) = dir.get_mut(var) {
+            meta.committed.retain(|&v| v >= keep_from);
+        }
+        dropped
+    }
+}
+
+/// Mark every element of `isect` (global coords) filled in `block`.
+fn mark_region(block: &mut Block, isect: &Region) {
+    let ndim = isect.rank();
+    let mut coord = vec![0u64; ndim];
+    let n = isect.volume();
+    for _ in 0..n {
+        let local: Vec<u64> = (0..ndim)
+            .map(|d| isect.corner[d] + coord[d] - block.region.corner[d])
+            .collect();
+        block.mark(bpio::box_to_linear(&local, &block.region.extent));
+        for d in (0..ndim).rev() {
+            coord[d] += 1;
+            if coord[d] < isect.extent[d] {
+                break;
+            }
+            coord[d] = 0;
+        }
+    }
+}
+
+fn count_filled(block: &Block, isect: &Region) -> u64 {
+    let mut n = 0;
+    visit(block, isect, |b, idx| {
+        if b.is_set(idx) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn for_each_filled(block: &Block, isect: &Region, mut f: impl FnMut(f64)) {
+    visit(block, isect, |b, idx| {
+        if b.is_set(idx) {
+            f(value_at(&b.data, idx as usize));
+        }
+    });
+}
+
+fn visit(block: &Block, isect: &Region, mut f: impl FnMut(&Block, u64)) {
+    let ndim = isect.rank();
+    let mut coord = vec![0u64; ndim];
+    let n = isect.volume();
+    for _ in 0..n {
+        let local: Vec<u64> = (0..ndim)
+            .map(|d| isect.corner[d] + coord[d] - block.region.corner[d])
+            .collect();
+        f(block, bpio::box_to_linear(&local, &block.region.extent));
+        for d in (0..ndim).rev() {
+            coord[d] += 1;
+            if coord[d] < isect.extent[d] {
+                break;
+            }
+            coord[d] = 0;
+        }
+    }
+}
+
+fn value_at(data: &DataArray, idx: usize) -> f64 {
+    match data {
+        DataArray::F32(v) => v[idx] as f64,
+        DataArray::F64(v) => v[idx],
+        DataArray::I32(v) => v[idx] as f64,
+        DataArray::I64(v) => v[idx] as f64,
+        DataArray::U32(v) => v[idx] as f64,
+        DataArray::U64(v) => v[idx] as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn space() -> DataSpaces {
+        DataSpaces::new(DsConfig::new(vec![64, 64], vec![16, 16], 4))
+    }
+
+    fn ramp(region: &Region) -> DataArray {
+        // value = global linear index over the domain row-major (64 wide)
+        let mut v = Vec::with_capacity(region.volume() as usize);
+        for i in 0..region.extent[0] {
+            for j in 0..region.extent[1] {
+                v.push(((region.corner[0] + i) * 64 + region.corner[1] + j) as f64);
+            }
+        }
+        DataArray::F64(v)
+    }
+
+    #[test]
+    fn put_get_identity() {
+        let ds = space();
+        let r = Region::new(vec![8, 8], vec![20, 20]);
+        ds.put("field", 0, &r, ramp(&r)).unwrap();
+        ds.commit("field", 0);
+        let back = ds.get("field", 0, &r, Duration::from_secs(1)).unwrap();
+        assert_eq!(back, ramp(&r));
+    }
+
+    #[test]
+    fn redistribution_m_writers_n_readers() {
+        // 4 writers put 32x32 quadrants; readers fetch arbitrary boxes.
+        let ds = space();
+        for (ci, cj) in [(0u64, 0u64), (0, 32), (32, 0), (32, 32)] {
+            let r = Region::new(vec![ci, cj], vec![32, 32]);
+            ds.put("field", 0, &r, ramp(&r)).unwrap();
+        }
+        ds.commit("field", 0);
+        // A read crossing all four quadrants.
+        let q = Region::new(vec![16, 16], vec![32, 32]);
+        let got = ds.get("field", 0, &q, Duration::from_secs(1)).unwrap();
+        assert_eq!(got, ramp(&q));
+        // Single element.
+        let one = Region::new(vec![63, 63], vec![1, 1]);
+        let got = ds.get("field", 0, &one, Duration::from_secs(1)).unwrap();
+        assert_eq!(got, DataArray::F64(vec![(63 * 64 + 63) as f64]));
+    }
+
+    #[test]
+    fn get_detects_holes() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![8, 8]);
+        ds.put("field", 0, &r, ramp(&r)).unwrap();
+        ds.commit("field", 0);
+        let q = Region::new(vec![0, 0], vec![8, 9]); // one column beyond
+        let e = ds.get("field", 0, &q, Duration::from_secs(1)).unwrap_err();
+        assert_eq!(e, DsError::Incomplete { missing_elems: 8 });
+    }
+
+    #[test]
+    fn coherence_blocks_until_commit() {
+        let ds = Arc::new(space());
+        let r = Region::new(vec![0, 0], vec![4, 4]);
+        ds.put("field", 7, &r, ramp(&r)).unwrap();
+        // Not committed yet: get times out.
+        let e = ds
+            .get("field", 7, &r, Duration::from_millis(30))
+            .unwrap_err();
+        assert!(matches!(e, DsError::VersionTimeout { version: 7, .. }));
+
+        // A reader blocked on the commit is released by it.
+        let ds2 = Arc::clone(&ds);
+        let h = std::thread::spawn(move || {
+            let r = Region::new(vec![0, 0], vec![4, 4]);
+            ds2.get("field", 7, &r, Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        ds.commit("field", 7);
+        assert_eq!(h.join().unwrap(), ramp(&r));
+    }
+
+    #[test]
+    fn versions_are_independent() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![4, 4]);
+        ds.put("f", 0, &r, DataArray::F64(vec![1.0; 16])).unwrap();
+        ds.put("f", 1, &r, DataArray::F64(vec![2.0; 16])).unwrap();
+        ds.commit("f", 0);
+        ds.commit("f", 1);
+        let v0 = ds.get("f", 0, &r, Duration::from_secs(1)).unwrap();
+        let v1 = ds.get("f", 1, &r, Duration::from_secs(1)).unwrap();
+        assert_eq!(v0, DataArray::F64(vec![1.0; 16]));
+        assert_eq!(v1, DataArray::F64(vec![2.0; 16]));
+    }
+
+    #[test]
+    fn reduction_queries() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![2, 3]);
+        ds.put(
+            "f",
+            0,
+            &r,
+            DataArray::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        )
+        .unwrap();
+        ds.commit("f", 0);
+        let q = |how| ds.reduce("f", 0, &r, how, Duration::from_secs(1)).unwrap();
+        assert_eq!(q(Reduction::Min), 1.0);
+        assert_eq!(q(Reduction::Max), 6.0);
+        assert_eq!(q(Reduction::Sum), 21.0);
+        assert_eq!(q(Reduction::Count), 6.0);
+        assert_eq!(q(Reduction::Avg), 3.5);
+        // Sub-region reduction.
+        let sub = Region::new(vec![1, 0], vec![1, 2]);
+        assert_eq!(
+            ds.reduce("f", 0, &sub, Reduction::Sum, Duration::from_secs(1))
+                .unwrap(),
+            9.0
+        );
+    }
+
+    #[test]
+    fn continuous_query_notifies_on_intersection() {
+        let ds = space();
+        let sub_region = Region::new(vec![0, 0], vec![10, 10]);
+        let rx = ds.subscribe("f", sub_region.clone());
+
+        // Outside the subscription: no notification.
+        let far = Region::new(vec![40, 40], vec![4, 4]);
+        ds.put("f", 0, &far, ramp(&far)).unwrap();
+        assert!(rx.try_recv().is_err());
+
+        // Overlapping: notified with the intersection.
+        let near = Region::new(vec![5, 5], vec![10, 10]);
+        ds.put("f", 0, &near, ramp(&near)).unwrap();
+        let n = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(n.region, Region::new(vec![5, 5], vec![5, 5]));
+        assert_eq!(n.version, 0);
+        // Other variables do not notify.
+        ds.put("g", 0, &near, ramp(&near)).unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dtype_conflicts_rejected() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![2, 2]);
+        ds.put("f", 0, &r, DataArray::F64(vec![0.0; 4])).unwrap();
+        let e = ds.put("f", 1, &r, DataArray::U64(vec![0; 4])).unwrap_err();
+        assert_eq!(e, DsError::DtypeMismatch);
+    }
+
+    #[test]
+    fn put_validates_shape() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![2, 2]);
+        assert!(matches!(
+            ds.put("f", 0, &r, DataArray::F64(vec![0.0; 5])),
+            Err(DsError::LengthMismatch {
+                expected: 4,
+                got: 5
+            })
+        ));
+        let oob = Region::new(vec![60, 60], vec![10, 10]);
+        assert!(matches!(
+            ds.put("f", 0, &oob, DataArray::F64(vec![0.0; 100])),
+            Err(DsError::OutOfDomain)
+        ));
+    }
+
+    #[test]
+    fn eviction_frees_old_versions() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![16, 16]);
+        for v in 0..4 {
+            ds.put("f", v, &r, ramp(&r)).unwrap();
+            ds.commit("f", v);
+        }
+        let dropped = ds.evict_before("f", 3);
+        assert!(dropped > 0);
+        assert!(ds.get_nowait("f", 2, &r).is_err());
+        assert!(ds.get_nowait("f", 3, &r).is_ok());
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_regions() {
+        let ds = Arc::new(DataSpaces::new(DsConfig::new(
+            vec![256, 64],
+            vec![16, 16],
+            8,
+        )));
+        std::thread::scope(|s| {
+            for w in 0..8u64 {
+                let ds = Arc::clone(&ds);
+                s.spawn(move || {
+                    let r = Region::new(vec![w * 32, 0], vec![32, 64]);
+                    let data = DataArray::F64(vec![w as f64; (32 * 64) as usize]);
+                    ds.put("f", 0, &r, data).unwrap();
+                });
+            }
+        });
+        ds.commit("f", 0);
+        let whole = Region::whole(&[256, 64]);
+        let all = ds.get("f", 0, &whole, Duration::from_secs(1)).unwrap();
+        let v = all.as_f64().unwrap();
+        for w in 0..8usize {
+            assert!(v[w * 32 * 64..(w + 1) * 32 * 64]
+                .iter()
+                .all(|&x| x == w as f64));
+        }
+        // Load is spread across shards.
+        let counts = ds.shard_block_counts();
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Small out-of-band attributes carried alongside a record.
+//!
+//! PreDatA's compute-node pass (`partial_calculate`) attaches small partial
+//! results — local min/max, chunk sizes, prefix-sum inputs — to the
+//! data-fetch *request* rather than the bulk payload, so staging nodes can
+//! aggregate them before any bulk data moves. `AttrList` is the container
+//! for those attachments: an ordered name → scalar/small-array map with a
+//! hard size budget, since requests must stay tiny.
+
+use crate::decode::decode_value_payload;
+use crate::encode::encode_value_payload;
+use crate::error::{FfsError, Result};
+use crate::types::{BaseType, Value};
+use crate::wire::{Reader, Writer};
+
+/// Hard cap on the encoded size of one attribute list, in bytes. Fetch
+/// requests are latency-critical control messages; anything bigger belongs
+/// in the bulk payload.
+pub const MAX_ENCODED_LEN: usize = 64 * 1024;
+
+/// An ordered collection of named small values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttrList {
+    entries: Vec<(String, Value)>,
+}
+
+impl AttrList {
+    pub fn new() -> Self {
+        AttrList::default()
+    }
+
+    /// Insert or replace an attribute.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name)?.as_f64()
+    }
+
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name)?.as_u64()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Standalone serialization (e.g. for shipping attribute lists through
+    /// a transport that is not an `ffs` record).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut w = Writer::with_capacity(64);
+        self.encode_into(&mut w)?;
+        Ok(w.into_inner())
+    }
+
+    /// Inverse of [`AttrList::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        Self::decode_from(&mut Reader::new(buf))
+    }
+
+    /// Serialize into `w`. Fails if the encoded size would exceed
+    /// [`MAX_ENCODED_LEN`].
+    pub(crate) fn encode_into(&self, w: &mut Writer) -> Result<()> {
+        let payload: usize = self
+            .entries
+            .iter()
+            .map(|(n, v)| 2 + n.len() + 2 + v.wire_size())
+            .sum();
+        if payload > MAX_ENCODED_LEN {
+            return Err(FfsError::Attr("attribute list exceeds 64 KiB budget"));
+        }
+        debug_assert!(self.entries.len() <= u16::MAX as usize);
+        w.u16(self.entries.len() as u16);
+        for (name, value) in &self.entries {
+            w.str16(name);
+            let (b, arr) = value.shape();
+            w.u8(b.tag());
+            w.u8(arr as u8);
+            encode_value_payload(w, value);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.u16("attr count")? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str16("attr name")?;
+            let base = BaseType::from_tag(r.u8("attr base")?)?;
+            let is_arr = match r.u8("attr arr flag")? {
+                0 => false,
+                1 => true,
+                _ => return Err(FfsError::Corrupt("attr array flag")),
+            };
+            let value = decode_value_payload(r, base, is_arr, None)?;
+            entries.push((name, value));
+        }
+        Ok(AttrList { entries })
+    }
+}
+
+impl FromIterator<(String, Value)> for AttrList {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut a = AttrList::new();
+        for (n, v) in iter {
+            a.set(n, v);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Reader, Writer};
+
+    #[test]
+    fn set_get_replace() {
+        let mut a = AttrList::new();
+        a.set("min", Value::F64(-3.0));
+        a.set("count", Value::U64(10));
+        a.set("min", Value::F64(-5.0)); // replace
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get_f64("min"), Some(-5.0));
+        assert_eq!(a.get_u64("count"), Some(10));
+        assert_eq!(a.get("absent"), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut a = AttrList::new();
+        a.set("min", Value::F64(-1.25));
+        a.set("hist", Value::ArrU64(vec![1, 2, 3]));
+        a.set("tag", Value::Str("electrons".into()));
+        let mut w = Writer::with_capacity(128);
+        a.encode_into(&mut w).unwrap();
+        let buf = w.into_inner();
+        let back = AttrList::decode_from(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut a = AttrList::new();
+        a.set("big", Value::ArrF64(vec![0.0; MAX_ENCODED_LEN / 8]));
+        let mut w = Writer::with_capacity(16);
+        assert!(matches!(a.encode_into(&mut w), Err(FfsError::Attr(_))));
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut a = AttrList::new();
+        a.set("z", Value::U8(1));
+        a.set("a", Value::U8(2));
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["z", "a"]);
+    }
+}

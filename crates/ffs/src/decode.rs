@@ -1,0 +1,314 @@
+//! Record decoding: header peek, schema recovery, payload materialization.
+
+use std::sync::Arc;
+
+use crate::attr::AttrList;
+use crate::encode::{FLAG_EMBEDDED_SCHEMA, WIRE_VERSION};
+use crate::error::{FfsError, Result};
+use crate::registry::FormatRegistry;
+use crate::types::{BaseType, DimSpec, FieldDesc, FieldType, FormatDesc, Record, Value};
+use crate::wire::Reader;
+use crate::MAGIC;
+
+/// The fixed-size prefix of every record, readable without a registry.
+/// PreDatA's `route()` step uses this to dispatch chunks by format without
+/// paying for a full decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedHeader {
+    pub version: u8,
+    pub has_embedded_schema: bool,
+    pub fingerprint: u64,
+}
+
+/// Peek the record header. Cheap: reads 14 bytes.
+pub fn decode_header(buf: &[u8]) -> Result<DecodedHeader> {
+    let mut r = Reader::new(buf);
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(FfsError::BadMagic);
+    }
+    let version = r.u8("version")?;
+    if version != WIRE_VERSION {
+        return Err(FfsError::BadVersion(version));
+    }
+    let flags = r.u8("flags")?;
+    let fingerprint = r.u64("fingerprint")?;
+    Ok(DecodedHeader {
+        version,
+        has_embedded_schema: flags & FLAG_EMBEDDED_SCHEMA != 0,
+        fingerprint,
+    })
+}
+
+/// Decode a full record.
+///
+/// * Self-contained records decode with `registry = None`; if a registry is
+///   supplied, the recovered schema is interned into it as a side effect
+///   (mirroring FFS' format caching on first contact).
+/// * By-reference records require a registry holding the fingerprint.
+pub fn decode(buf: &[u8], registry: Option<&FormatRegistry>) -> Result<Record> {
+    let header = decode_header(buf)?;
+    let mut r = Reader::new(buf);
+    r.take(14, "header")?; // skip re-validated header
+
+    let format: Arc<FormatDesc> = if header.has_embedded_schema {
+        let fmt = decode_schema(&mut r)?;
+        if fmt.fingerprint() != header.fingerprint {
+            return Err(FfsError::Corrupt("embedded schema fingerprint mismatch"));
+        }
+        match registry {
+            Some(reg) => reg.intern(fmt),
+            None => Arc::new(fmt),
+        }
+    } else {
+        let reg = registry.ok_or(FfsError::RegistryRequired(header.fingerprint))?;
+        reg.lookup(header.fingerprint)
+            .ok_or(FfsError::UnknownFormat(header.fingerprint))?
+    };
+
+    let attrs = AttrList::decode_from(&mut r)?;
+
+    let mut values: Vec<Option<Value>> = vec![None; format.fields().len()];
+    for (i, field) in format.fields().iter().enumerate() {
+        let v = match &field.ty {
+            FieldType::Scalar(b) => decode_value_payload(&mut r, *b, false, None)?,
+            FieldType::Array { elem, dims } => {
+                // Resolve expected length from already-decoded size fields
+                // (they are guaranteed to precede this array).
+                let mut expected: u64 = 1;
+                for d in dims {
+                    let extent = match d {
+                        DimSpec::Fixed(n) => *n,
+                        DimSpec::Var(name) => {
+                            let j = format
+                                .field_index(name)
+                                .ok_or(FfsError::Corrupt("dangling var dim"))?;
+                            values[j]
+                                .as_ref()
+                                .and_then(|v| v.as_u64())
+                                .ok_or(FfsError::Corrupt("var dim not yet decoded"))?
+                        }
+                    };
+                    expected = expected.saturating_mul(extent);
+                }
+                decode_value_payload(&mut r, *elem, true, Some(expected))?
+            }
+        };
+        values[i] = Some(v);
+    }
+
+    Ok(Record::from_decoded(format, values, attrs))
+}
+
+pub(crate) fn decode_schema(r: &mut Reader<'_>) -> Result<FormatDesc> {
+    let name = r.str16("format name")?;
+    let nfields = r.u16("field count")? as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let fname = r.str16("field name")?;
+        let kind = r.u8("field kind")?;
+        let base = BaseType::from_tag(r.u8("field base")?)?;
+        let ty = match kind {
+            0 => FieldType::Scalar(base),
+            1 => {
+                let ndims = r.u8("ndims")? as usize;
+                let mut dims = Vec::with_capacity(ndims);
+                for _ in 0..ndims {
+                    dims.push(match r.u8("dim kind")? {
+                        0 => DimSpec::Fixed(r.u64("dim extent")?),
+                        1 => DimSpec::Var(r.str16("dim name")?),
+                        _ => return Err(FfsError::Corrupt("dim kind tag")),
+                    });
+                }
+                FieldType::Array { elem: base, dims }
+            }
+            _ => return Err(FfsError::Corrupt("field kind tag")),
+        };
+        fields.push(FieldDesc { name: fname, ty });
+    }
+    FormatDesc::from_parts(name, fields)
+}
+
+/// Decode one value payload. For arrays, `expected_len` (when known from
+/// the schema) is cross-checked against the on-wire element count.
+pub(crate) fn decode_value_payload(
+    r: &mut Reader<'_>,
+    base: BaseType,
+    is_array: bool,
+    expected_len: Option<u64>,
+) -> Result<Value> {
+    if !is_array {
+        return Ok(match base {
+            BaseType::I8 => Value::I8(r.u8("i8")? as i8),
+            BaseType::U8 => Value::U8(r.u8("u8")?),
+            BaseType::I16 => Value::I16(r.u16("i16")? as i16),
+            BaseType::U16 => Value::U16(r.u16("u16")?),
+            BaseType::I32 => Value::I32(r.u32("i32")? as i32),
+            BaseType::U32 => Value::U32(r.u32("u32")?),
+            BaseType::I64 => Value::I64(r.u64("i64")? as i64),
+            BaseType::U64 => Value::U64(r.u64("u64")?),
+            BaseType::F32 => Value::F32(r.f32("f32")?),
+            BaseType::F64 => Value::F64(r.f64("f64")?),
+            BaseType::Str => Value::Str(r.str32("str")?),
+        });
+    }
+
+    let count = r.u64("array count")?;
+    if let Some(exp) = expected_len {
+        if exp != count {
+            return Err(FfsError::Corrupt("array count disagrees with dimensions"));
+        }
+    }
+    // Guard against hostile counts before allocating.
+    let elem_size = base.wire_size().max(1);
+    if count as usize > r.remaining() / elem_size {
+        return Err(FfsError::Truncated("array elements"));
+    }
+    let n = count as usize;
+    Ok(match base {
+        BaseType::I8 => Value::ArrI8(
+            (0..n)
+                .map(|_| r.u8("e").map(|b| b as i8))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U8 => Value::ArrU8(r.take(n, "bytes")?.to_vec()),
+        BaseType::I16 => Value::ArrI16(
+            (0..n)
+                .map(|_| r.u16("e").map(|b| b as i16))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U16 => Value::ArrU16((0..n).map(|_| r.u16("e")).collect::<Result<_>>()?),
+        BaseType::I32 => Value::ArrI32(
+            (0..n)
+                .map(|_| r.u32("e").map(|b| b as i32))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U32 => Value::ArrU32((0..n).map(|_| r.u32("e")).collect::<Result<_>>()?),
+        BaseType::I64 => Value::ArrI64(
+            (0..n)
+                .map(|_| r.u64("e").map(|b| b as i64))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U64 => Value::ArrU64((0..n).map(|_| r.u64("e")).collect::<Result<_>>()?),
+        BaseType::F32 => Value::ArrF32((0..n).map(|_| r.f32("e")).collect::<Result<_>>()?),
+        BaseType::F64 => Value::ArrF64((0..n).map(|_| r.f64("e")).collect::<Result<_>>()?),
+        BaseType::Str => return Err(FfsError::Corrupt("string arrays are not supported")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FieldDesc;
+
+    fn sample() -> Record {
+        let fmt = FormatDesc::new("sample")
+            .field(FieldDesc::scalar("step", BaseType::U32))
+            .field(FieldDesc::scalar("label", BaseType::Str))
+            .field(FieldDesc::scalar("n", BaseType::U64))
+            .field(FieldDesc::vec("x", BaseType::F64, "n"))
+            .field(FieldDesc::vec("ids", BaseType::I32, "n"))
+            .build()
+            .unwrap();
+        let mut r = Record::new(&fmt);
+        r.set("step", Value::U32(42)).unwrap();
+        r.set("label", Value::Str("ions".into())).unwrap();
+        r.set("n", Value::U64(3)).unwrap();
+        r.set("x", Value::ArrF64(vec![1.0, -2.0, 3.5])).unwrap();
+        r.set("ids", Value::ArrI32(vec![-1, 0, 1])).unwrap();
+        r.attrs_mut().set("lmin", Value::F64(-2.0));
+        r
+    }
+
+    #[test]
+    fn self_contained_roundtrip() {
+        let r = sample();
+        let buf = r.encode_self_contained().unwrap();
+        let back = decode(&buf, None).unwrap();
+        assert_eq!(back.get("step"), Some(&Value::U32(42)));
+        assert_eq!(back.get("label"), Some(&Value::Str("ions".into())));
+        assert_eq!(back.get("x"), Some(&Value::ArrF64(vec![1.0, -2.0, 3.5])));
+        assert_eq!(back.get("ids"), Some(&Value::ArrI32(vec![-1, 0, 1])));
+        assert_eq!(back.attrs().get_f64("lmin"), Some(-2.0));
+        assert_eq!(back.format().fingerprint(), r.format().fingerprint());
+    }
+
+    #[test]
+    fn header_peek() {
+        let r = sample();
+        let buf = r.encode_self_contained().unwrap();
+        let h = decode_header(&buf).unwrap();
+        assert!(h.has_embedded_schema);
+        assert_eq!(h.fingerprint, r.format().fingerprint());
+    }
+
+    #[test]
+    fn by_ref_needs_registry() {
+        let r = sample();
+        let buf = r.encode_by_ref().unwrap();
+        assert!(matches!(
+            decode(&buf, None),
+            Err(FfsError::RegistryRequired(_))
+        ));
+
+        let reg = FormatRegistry::new();
+        assert!(matches!(
+            decode(&buf, Some(&reg)),
+            Err(FfsError::UnknownFormat(_))
+        ));
+
+        reg.register(r.format());
+        let back = decode(&buf, Some(&reg)).unwrap();
+        assert_eq!(back.get("step"), Some(&Value::U32(42)));
+    }
+
+    #[test]
+    fn self_contained_decode_interns_into_registry() {
+        let r = sample();
+        let full = r.encode_self_contained().unwrap();
+        let by_ref = r.encode_by_ref().unwrap();
+        let reg = FormatRegistry::new();
+        decode(&full, Some(&reg)).unwrap(); // learns the schema
+        let back = decode(&by_ref, Some(&reg)).unwrap(); // now by-ref works
+        assert_eq!(back.get("n"), Some(&Value::U64(3)));
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let r = sample();
+        let mut buf = r.encode_self_contained().unwrap();
+        let saved = buf[0];
+        buf[0] = b'X';
+        assert!(matches!(decode_header(&buf), Err(FfsError::BadMagic)));
+        buf[0] = saved;
+        buf[4] = 99;
+        assert!(matches!(decode_header(&buf), Err(FfsError::BadVersion(99))));
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let r = sample();
+        let buf = r.encode_self_contained().unwrap();
+        for cut in [buf.len() - 1, buf.len() / 2, 15] {
+            assert!(decode(&buf[..cut], None).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn hostile_array_count_rejected_without_allocation() {
+        // Craft a record whose array claims u64::MAX elements.
+        let fmt = FormatDesc::new("f")
+            .field(FieldDesc::scalar("n", BaseType::U64))
+            .field(FieldDesc::vec("x", BaseType::F64, "n"))
+            .build()
+            .unwrap();
+        let mut r = Record::new(&fmt);
+        r.set("n", Value::U64(1)).unwrap();
+        r.set("x", Value::ArrF64(vec![0.0])).unwrap();
+        let mut buf = r.encode_self_contained().unwrap();
+        // Overwrite the trailing count+payload with a huge count.
+        let l = buf.len();
+        buf[l - 16..l - 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&buf, None).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Record encoding: schema-embedded ("self-contained") and by-reference.
+//!
+//! Wire layout (all little-endian):
+//!
+//! ```text
+//! record      := magic(4) version(1) flags(1) fingerprint(8)
+//!                [schema]            -- iff flags bit 0
+//!                attrs payload
+//! schema      := name:str16 nfields:u16 field*
+//! field       := name:str16 kind:u8 base:u8 [ndims:u8 dim*]   -- kind 0 scalar, 1 array
+//! dim         := 0 extent:u64 | 1 name:str16
+//! attrs       := see AttrList
+//! payload     := value*                        -- fields in declaration order
+//! value       := scalar bytes | count:u64 elems | len:u32 utf8  -- str
+//! ```
+
+use crate::error::{FfsError, Result};
+use crate::types::{DimSpec, FieldType, FormatDesc, Record, Value};
+use crate::wire::Writer;
+use crate::MAGIC;
+
+pub(crate) const WIRE_VERSION: u8 = 1;
+pub(crate) const FLAG_EMBEDDED_SCHEMA: u8 = 0b0000_0001;
+
+impl Record {
+    /// Encode with the schema embedded; any receiver can decode the result
+    /// without prior knowledge. This is the form PreDatA uses for packed
+    /// partial data chunks.
+    pub fn encode_self_contained(&self) -> Result<Vec<u8>> {
+        self.encode_inner(true)
+    }
+
+    /// Encode carrying only the format fingerprint. The receiver must hold
+    /// the format in a [`crate::FormatRegistry`]; this saves the schema
+    /// bytes on every message of a long-lived stream.
+    pub fn encode_by_ref(&self) -> Result<Vec<u8>> {
+        self.encode_inner(false)
+    }
+
+    fn encode_inner(&self, embed: bool) -> Result<Vec<u8>> {
+        let fmt = self.format();
+        // Validate completeness and var-dim consistency before any bytes
+        // are produced, so failure never yields a half-written buffer.
+        for (i, field) in fmt.fields().iter().enumerate() {
+            let v = self.values()[i]
+                .as_ref()
+                .ok_or_else(|| FfsError::UnsetField(field.name.clone()))?;
+            if let FieldType::Array { .. } = field.ty {
+                let expected = self.resolved_len(i)?;
+                let got = v.len().expect("array fields hold array values");
+                if expected != got {
+                    return Err(FfsError::LengthMismatch {
+                        field: field.name.clone(),
+                        expected,
+                        got,
+                    });
+                }
+            }
+        }
+
+        let payload_size: usize = self
+            .values()
+            .iter()
+            .map(|v| v.as_ref().unwrap().wire_size())
+            .sum();
+        let mut w = Writer::with_capacity(64 + payload_size);
+        w.bytes(&MAGIC);
+        w.u8(WIRE_VERSION);
+        w.u8(if embed { FLAG_EMBEDDED_SCHEMA } else { 0 });
+        w.u64(fmt.fingerprint());
+        if embed {
+            encode_schema(&mut w, fmt);
+        }
+        self.attrs().encode_into(&mut w)?;
+        for v in self.values() {
+            encode_value_payload(&mut w, v.as_ref().unwrap());
+        }
+        Ok(w.into_inner())
+    }
+}
+
+pub(crate) fn encode_schema(w: &mut Writer, fmt: &FormatDesc) {
+    w.str16(fmt.name());
+    debug_assert!(fmt.fields().len() <= u16::MAX as usize);
+    w.u16(fmt.fields().len() as u16);
+    for f in fmt.fields() {
+        w.str16(&f.name);
+        match &f.ty {
+            FieldType::Scalar(b) => {
+                w.u8(0);
+                w.u8(b.tag());
+            }
+            FieldType::Array { elem, dims } => {
+                w.u8(1);
+                w.u8(elem.tag());
+                debug_assert!(dims.len() <= u8::MAX as usize);
+                w.u8(dims.len() as u8);
+                for d in dims {
+                    match d {
+                        DimSpec::Fixed(n) => {
+                            w.u8(0);
+                            w.u64(*n);
+                        }
+                        DimSpec::Var(v) => {
+                            w.u8(1);
+                            w.str16(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Write one value's payload bytes (no type header — the schema carries it).
+pub(crate) fn encode_value_payload(w: &mut Writer, v: &Value) {
+    match v {
+        Value::I8(x) => w.u8(*x as u8),
+        Value::U8(x) => w.u8(*x),
+        Value::I16(x) => w.u16(*x as u16),
+        Value::U16(x) => w.u16(*x),
+        Value::I32(x) => w.u32(*x as u32),
+        Value::U32(x) => w.u32(*x),
+        Value::I64(x) => w.u64(*x as u64),
+        Value::U64(x) => w.u64(*x),
+        Value::F32(x) => w.f32(*x),
+        Value::F64(x) => w.f64(*x),
+        Value::Str(s) => w.str32(s),
+        Value::ArrI8(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u8(x as u8);
+            }
+        }
+        Value::ArrU8(a) => {
+            w.u64(a.len() as u64);
+            w.bytes(a);
+        }
+        Value::ArrI16(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u16(x as u16);
+            }
+        }
+        Value::ArrU16(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u16(x);
+            }
+        }
+        Value::ArrI32(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u32(x as u32);
+            }
+        }
+        Value::ArrU32(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u32(x);
+            }
+        }
+        Value::ArrI64(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u64(x as u64);
+            }
+        }
+        Value::ArrU64(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.u64(x);
+            }
+        }
+        Value::ArrF32(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.f32(x);
+            }
+        }
+        Value::ArrF64(a) => {
+            w.u64(a.len() as u64);
+            for &x in a {
+                w.f64(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BaseType, FieldDesc};
+
+    fn fmt() -> std::sync::Arc<FormatDesc> {
+        FormatDesc::new("f")
+            .field(FieldDesc::scalar("n", BaseType::U32))
+            .field(FieldDesc::vec("x", BaseType::F64, "n"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unset_field_rejected() {
+        let f = fmt();
+        let mut r = Record::new(&f);
+        r.set("n", Value::U32(1)).unwrap();
+        assert!(matches!(
+            r.encode_self_contained(),
+            Err(FfsError::UnsetField(_))
+        ));
+    }
+
+    #[test]
+    fn var_dim_mismatch_rejected_at_encode() {
+        let f = fmt();
+        let mut r = Record::new(&f);
+        r.set("n", Value::U32(5)).unwrap();
+        r.set("x", Value::ArrF64(vec![1.0, 2.0])).unwrap();
+        assert!(matches!(
+            r.encode_self_contained(),
+            Err(FfsError::LengthMismatch {
+                expected: 5,
+                got: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn by_ref_is_smaller_than_self_contained() {
+        let f = fmt();
+        let mut r = Record::new(&f);
+        r.set("n", Value::U32(2)).unwrap();
+        r.set("x", Value::ArrF64(vec![1.0, 2.0])).unwrap();
+        let full = r.encode_self_contained().unwrap();
+        let by_ref = r.encode_by_ref().unwrap();
+        assert!(by_ref.len() < full.len());
+        assert_eq!(&full[..4], &MAGIC);
+        assert_eq!(&by_ref[..4], &MAGIC);
+    }
+}

@@ -1,0 +1,172 @@
+//! Low-level little-endian wire primitives shared by encode and decode.
+
+use crate::error::{FfsError, Result};
+
+/// Append-only writer over a byte vector.
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u16) short string; formats and field names are
+    /// bounded well under 64 KiB.
+    pub fn str16(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize, "name too long for wire");
+        self.u16(s.len() as u16);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Length-prefixed (u32) long string.
+    pub fn str32(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Cursor-based reader over a byte slice.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(FfsError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u16(&mut self, what: &'static str) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn f32(&mut self, what: &'static str) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self, what: &'static str) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn str16(&mut self, what: &'static str) -> Result<String> {
+        let n = self.u16(what)? as usize;
+        let raw = self.take(n, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FfsError::Corrupt("non-utf8 name"))
+    }
+
+    pub fn str32(&mut self, what: &'static str) -> Result<String> {
+        let n = self.u32(what)? as usize;
+        let raw = self.take(n, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FfsError::Corrupt("non-utf8 string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::with_capacity(64);
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f32(1.5);
+        w.f64(-2.25);
+        w.str16("hello");
+        w.str32("world");
+        let buf = w.into_inner();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u16("t").unwrap(), 300);
+        assert_eq!(r.u32("t").unwrap(), 70_000);
+        assert_eq!(r.u64("t").unwrap(), 1 << 40);
+        assert_eq!(r.f32("t").unwrap(), 1.5);
+        assert_eq!(r.f64("t").unwrap(), -2.25);
+        assert_eq!(r.str16("t").unwrap(), "hello");
+        assert_eq!(r.str32("t").unwrap(), "world");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let buf = [1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.u32("header"),
+            Err(FfsError::Truncated("header"))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_name_rejected() {
+        let mut w = Writer::with_capacity(8);
+        w.u16(2);
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.into_inner();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.str16("name"), Err(FfsError::Corrupt(_))));
+    }
+}

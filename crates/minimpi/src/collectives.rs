@@ -1,0 +1,342 @@
+//! Collective operations, built from point-to-point messages.
+//!
+//! Algorithms are deliberately simple (linear fan-in/out around a root):
+//! functional semantics are what the middleware needs from this layer;
+//! collective *cost* at scale is modelled analytically in `simhec`.
+//! All collectives must be entered by every rank of the communicator in
+//! the same order, exactly as in MPI.
+
+use crate::comm::Comm;
+use crate::data::MpiData;
+
+/// Reserved tag used by collective plumbing; user tags must stay below.
+pub(crate) const COLL_TAG: u64 = u64::MAX - 2;
+
+/// Internal wrapper giving composite payloads an explicit byte size, so
+/// collective plumbing can ship `Vec<T>` for any `T: MpiData`.
+#[derive(Clone)]
+struct WithSize<T> {
+    value: T,
+    bytes: usize,
+}
+
+impl<T: Send + 'static> MpiData for WithSize<T> {
+    fn byte_len(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Comm {
+    /// Broadcast from `root`. `value` must be `Some` on the root and is
+    /// ignored elsewhere.
+    pub fn bcast<T: MpiData + Clone>(&self, root: usize, value: Option<T>) -> T {
+        self.world().stats().record_collective();
+        if self.rank() == root {
+            let v = value.expect("bcast: root must supply a value");
+            for r in 0..self.size() {
+                if r != root {
+                    self.send_raw(r, COLL_TAG, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv::<T>(root, COLL_TAG).0
+        }
+    }
+
+    /// Reduce to `root` with an associative `op`. Returns `Some` on root.
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: MpiData + Clone,
+        F: Fn(T, T) -> T,
+    {
+        self.world().stats().record_collective();
+        if self.rank() == root {
+            let mut acc = value;
+            // Deterministic order: fold ranks 0..size skipping root, so
+            // floating-point reductions are reproducible run to run.
+            for r in 0..self.size() {
+                if r != root {
+                    let (v, _) = self.recv::<T>(r, COLL_TAG);
+                    acc = op(acc, v);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send_raw(root, COLL_TAG, value);
+            None
+        }
+    }
+
+    /// Reduce + broadcast: every rank gets the reduction result.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: MpiData + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.bcast(0, reduced)
+    }
+
+    /// Gather per-rank values to `root`, ordered by rank.
+    pub fn gather<T: MpiData + Clone>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        self.world().stats().record_collective();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for (r, slot) in out.iter_mut().enumerate() {
+                if r != root {
+                    let (v, _) = self.recv::<T>(r, COLL_TAG);
+                    *slot = Some(v);
+                }
+            }
+            Some(
+                out.into_iter()
+                    .map(|v| v.expect("all ranks gathered"))
+                    .collect(),
+            )
+        } else {
+            self.send_raw(root, COLL_TAG, value);
+            None
+        }
+    }
+
+    /// Gather to every rank.
+    pub fn allgather<T: MpiData + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.world().stats().record_collective();
+        if self.rank() == 0 {
+            let v = gathered.expect("rank 0 gathered");
+            let bytes = v.iter().map(MpiData::byte_len).sum();
+            let wrapped = WithSize { value: v, bytes };
+            for r in 1..self.size() {
+                self.send_raw(r, COLL_TAG, wrapped.clone());
+            }
+            wrapped.value
+        } else {
+            self.recv::<WithSize<Vec<T>>>(0, COLL_TAG).0.value
+        }
+    }
+
+    /// Distribute one element of `values` (significant on root) to each rank.
+    pub fn scatter<T: MpiData + Clone>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        self.world().stats().record_collective();
+        if self.rank() == root {
+            let values = values.expect("scatter: root must supply values");
+            assert_eq!(
+                values.len(),
+                self.size(),
+                "scatter: need one value per rank"
+            );
+            let mut mine = None;
+            for (r, v) in values.into_iter().enumerate() {
+                if r == root {
+                    mine = Some(v);
+                } else {
+                    self.send_raw(r, COLL_TAG, v);
+                }
+            }
+            mine.expect("root receives its own slot")
+        } else {
+            self.recv::<T>(root, COLL_TAG).0
+        }
+    }
+
+    /// Personalized all-to-all: element `i` of `values` goes to rank `i`;
+    /// the result's element `j` came from rank `j`.
+    pub fn alltoall<T: MpiData + Clone>(&self, values: Vec<T>) -> Vec<T> {
+        assert_eq!(
+            values.len(),
+            self.size(),
+            "alltoall: need one value per rank"
+        );
+        self.world().stats().record_collective();
+        let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        for (r, v) in values.into_iter().enumerate() {
+            if r == self.rank() {
+                out[r] = Some(v);
+            } else {
+                self.send_raw(r, COLL_TAG, v);
+            }
+        }
+        for (r, slot) in out.iter_mut().enumerate() {
+            if r != self.rank() {
+                let (v, _) = self.recv::<T>(r, COLL_TAG);
+                *slot = Some(v);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("all peers delivered"))
+            .collect()
+    }
+
+    /// Variable-size personalized all-to-all over element vectors. This is
+    /// the shuffle primitive behind PreDatA's `partition()` phase.
+    pub fn alltoallv<T: crate::data::MpiScalar>(&self, values: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.alltoall(values)
+    }
+
+    /// Inclusive prefix reduction: rank i gets op(v0, …, vi).
+    pub fn scan<T, F>(&self, value: T, op: F) -> T
+    where
+        T: MpiData + Clone,
+        F: Fn(T, T) -> T,
+    {
+        self.world().stats().record_collective();
+        // Linear chain: rank i-1 forwards its inclusive prefix to rank i.
+        let acc = if self.rank() == 0 {
+            value
+        } else {
+            let (prev, _) = self.recv::<T>(self.rank() - 1, COLL_TAG);
+            op(prev, value)
+        };
+        if self.rank() + 1 < self.size() {
+            self.send_raw(self.rank() + 1, COLL_TAG, acc.clone());
+        }
+        acc
+    }
+
+    /// Exclusive prefix reduction: rank i gets op(identity, v0, …, v(i-1)).
+    /// PreDatA's staging aggregation uses this to assign global array
+    /// offsets from per-chunk sizes.
+    pub fn exscan<T, F>(&self, value: T, identity: T, op: F) -> T
+    where
+        T: MpiData + Clone,
+        F: Fn(T, T) -> T,
+    {
+        self.world().stats().record_collective();
+        let inclusive_prev = if self.rank() == 0 {
+            identity.clone()
+        } else {
+            self.recv::<T>(self.rank() - 1, COLL_TAG).0
+        };
+        if self.rank() + 1 < self.size() {
+            self.send_raw(self.rank() + 1, COLL_TAG, op(inclusive_prev.clone(), value));
+        }
+        inclusive_prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..3 {
+            let out = World::run(3, move |c| {
+                let v = if c.rank() == root {
+                    Some(root as u64 * 7)
+                } else {
+                    None
+                };
+                c.bcast(root, v)
+            });
+            assert_eq!(out, vec![root as u64 * 7; 3]);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_and_max() {
+        let out = World::run(5, |c| c.reduce(2, c.rank() as u64, |a, b| a + b));
+        assert_eq!(out[2], Some(10));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.is_some(), i == 2);
+        }
+        let out = World::run(5, |c| c.allreduce(c.rank() as i64 - 2, i64::max));
+        assert_eq!(out, vec![2; 5]);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_for_floats() {
+        let a = World::run(7, |c| c.allreduce(0.1f64 * c.rank() as f64, |x, y| x + y));
+        let b = World::run(7, |c| c.allreduce(0.1f64 * c.rank() as f64, |x, y| x + y));
+        assert_eq!(a, b); // bitwise equal, same fold order
+    }
+
+    #[test]
+    fn gather_and_allgather_ordered() {
+        let out = World::run(4, |c| c.gather(1, (c.rank() as u32) * 2));
+        assert_eq!(out[1], Some(vec![0, 2, 4, 6]));
+        let out = World::run(4, |c| c.allgather(c.rank() as u32));
+        for v in out {
+            assert_eq!(v, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        let out = World::run(4, |c| {
+            let vals = (c.rank() == 0).then(|| (0..4).map(|i| (i * i) as u64).collect::<Vec<_>>());
+            c.scatter(0, vals)
+        });
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = World::run(3, |c| {
+            // Send (my_rank, dst) to each dst.
+            let send: Vec<(u64, u64)> = (0..3).map(|d| (c.rank() as u64, d as u64)).collect();
+            c.alltoall(send)
+        });
+        for (me, row) in out.iter().enumerate() {
+            for (src, pair) in row.iter().enumerate() {
+                assert_eq!(*pair, (src as u64, me as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_ragged() {
+        let out = World::run(3, |c| {
+            // Rank r sends r copies of its rank to everyone.
+            let send: Vec<Vec<u8>> = (0..3).map(|_| vec![c.rank() as u8; c.rank()]).collect();
+            c.alltoallv(send)
+        });
+        for row in out {
+            assert_eq!(row, vec![vec![], vec![1], vec![2, 2]]);
+        }
+    }
+
+    #[test]
+    fn scan_exscan_prefixes() {
+        let inc = World::run(5, |c| c.scan((c.rank() + 1) as u64, |a, b| a + b));
+        assert_eq!(inc, vec![1, 3, 6, 10, 15]);
+        let exc = World::run(5, |c| c.exscan((c.rank() + 1) as u64, 0, |a, b| a + b));
+        assert_eq!(exc, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn exscan_assigns_chunk_offsets() {
+        // The staging-aggregation use case: ranks own chunks of sizes
+        // 10, 0, 5, 7; offsets must be 0, 10, 10, 15.
+        let sizes = [10u64, 0, 5, 7];
+        let out = World::run(4, move |c| c.exscan(sizes[c.rank()], 0, |a, b| a + b));
+        assert_eq!(out, vec![0, 10, 10, 15]);
+    }
+
+    #[test]
+    fn collectives_on_split_comm() {
+        let out = World::run(6, |c| {
+            let sub = c.split((c.rank() / 3) as u64, c.rank() as u64);
+            sub.allreduce(c.rank() as u64, |a, b| a + b)
+        });
+        assert_eq!(out, vec![3, 3, 3, 12, 12, 12]);
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_match() {
+        let out = World::run(4, |c| {
+            let s1 = c.allreduce(1u64, |a, b| a + b);
+            let g = c.allgather(c.rank() as u64);
+            let s2 = c.allreduce(10u64, |a, b| a + b);
+            (s1, g, s2)
+        });
+        for (s1, g, s2) in out {
+            assert_eq!(s1, 4);
+            assert_eq!(g, vec![0, 1, 2, 3]);
+            assert_eq!(s2, 40);
+        }
+    }
+}

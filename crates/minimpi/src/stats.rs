@@ -1,0 +1,64 @@
+//! Traffic accounting: message and byte counters per world.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate counters over a world's lifetime. Cheap relaxed atomics;
+/// read them after `World::run` returns (or between phases) for exact
+/// values.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    collective_calls: AtomicU64,
+}
+
+impl TrafficStats {
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_collective(&self) {
+        self.collective_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total point-to-point messages sent (collectives are built from
+    /// point-to-point, so their traffic is included).
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of collective-operation *entries* across all ranks.
+    pub fn collective_calls(&self) -> u64 {
+        self.collective_calls.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.collective_calls.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = TrafficStats::default();
+        s.record_send(100);
+        s.record_send(28);
+        s.record_collective();
+        assert_eq!(s.messages(), 2);
+        assert_eq!(s.bytes(), 128);
+        assert_eq!(s.collective_calls(), 1);
+        s.reset();
+        assert_eq!((s.messages(), s.bytes(), s.collective_calls()), (0, 0, 0));
+    }
+}

@@ -1,0 +1,210 @@
+//! World creation and rank launching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::envelope::Mailbox;
+use crate::stats::TrafficStats;
+
+/// Shared state of one message-passing world: the mailboxes of all ranks,
+/// traffic counters, and an id allocator for split communicators.
+pub struct World {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) stats: TrafficStats,
+    next_comm_id: AtomicU64,
+}
+
+/// Reusable, generation-counted barrier for an arbitrary subset of ranks.
+/// (`std::sync::Barrier` is fixed to its creation count and cannot be
+/// shared across nested communicators, so we roll our own.)
+pub(crate) struct SubsetBarrier {
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+    parties: usize,
+}
+
+impl SubsetBarrier {
+    pub fn new(parties: usize) -> Self {
+        SubsetBarrier {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            parties,
+        }
+    }
+
+    pub fn wait(&self) {
+        let mut s = self.state.lock().expect("barrier poisoned");
+        let gen = s.1;
+        s.0 += 1;
+        if s.0 == self.parties {
+            s.0 = 0;
+            s.1 = s.1.wrapping_add(1);
+            self.cv.notify_all();
+        } else {
+            while s.1 == gen {
+                s = self.cv.wait(s).expect("barrier poisoned");
+            }
+        }
+    }
+}
+
+impl World {
+    /// Create a world of `size` ranks without launching threads; used when
+    /// the caller manages its own threads (e.g. a staging area embedded in
+    /// a larger harness); the returned communicators are handed to those
+    /// threads.
+    pub fn with_size(size: usize) -> (Arc<World>, Vec<Comm>) {
+        assert!(size > 0, "world must have at least one rank");
+        let world = Arc::new(World {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            stats: TrafficStats::default(),
+            next_comm_id: AtomicU64::new(1),
+        });
+        let barrier = Arc::new(SubsetBarrier::new(size));
+        let members: Arc<[usize]> = (0..size).collect();
+        let comms = (0..size)
+            .map(|r| {
+                Comm::world_comm(
+                    Arc::clone(&world),
+                    r,
+                    Arc::clone(&members),
+                    Arc::clone(&barrier),
+                )
+            })
+            .collect();
+        (world, comms)
+    }
+
+    /// Launch `size` ranks, run `f` on each with its world communicator,
+    /// and return the per-rank results ordered by rank.
+    ///
+    /// Panics in any rank propagate (after all threads are joined) so test
+    /// failures inside ranks surface normally.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        let (_world, comms) = World::with_size(size);
+        let f = Arc::new(f);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name(format!("rank{}", comm.rank()))
+                    .spawn(move || f(comm))
+                    .expect("spawn rank thread")
+            })
+            .collect();
+        let mut out = Vec::with_capacity(size);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(e) => panic = Some(e),
+            }
+        }
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        out
+    }
+
+    /// Like [`World::run`] but also returns the world so the caller can
+    /// read [`TrafficStats`] after completion.
+    pub fn run_with_stats<T, F>(size: usize, f: F) -> (Vec<T>, Arc<World>)
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        let (world, comms) = World::with_size(size);
+        let f = Arc::new(f);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || f(comm))
+            })
+            .collect();
+        let out = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
+        (out, world)
+    }
+
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    pub(crate) fn alloc_comm_id(&self) -> u64 {
+        self.next_comm_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = World::run(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = World::run(0, |_| ());
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            World::run(3, |c| {
+                if c.rank() == 1 {
+                    panic!("boom in rank 1");
+                }
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn subset_barrier_reusable() {
+        let b = Arc::new(SubsetBarrier::new(4));
+        let counter = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for round in 0..100u64 {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After each barrier, all 4 increments of this
+                        // round must be visible.
+                        assert!(c.load(Ordering::SeqCst) >= (round + 1) * 4);
+                        b.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 400);
+    }
+}

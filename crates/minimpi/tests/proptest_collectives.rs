@@ -1,0 +1,71 @@
+//! Property tests: collective semantics hold for arbitrary inputs and
+//! world sizes.
+
+use minimpi::World;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allreduce_sum_matches_serial(vals in prop::collection::vec(-1000i64..1000, 1..9)) {
+        let n = vals.len();
+        let expect: i64 = vals.iter().sum();
+        let vals2 = vals.clone();
+        let out = World::run(n, move |c| c.allreduce(vals2[c.rank()], |a, b| a + b));
+        prop_assert_eq!(out, vec![expect; n]);
+    }
+
+    #[test]
+    fn allgather_matches_input(vals in prop::collection::vec(any::<u32>(), 1..9)) {
+        let n = vals.len();
+        let vals2 = vals.clone();
+        let out = World::run(n, move |c| c.allgather(vals2[c.rank()]));
+        for row in out {
+            prop_assert_eq!(&row, &vals);
+        }
+    }
+
+    #[test]
+    fn alltoallv_preserves_multiset(matrix in prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(any::<u16>(), 0..6), 4..5), 4..5)
+    ) {
+        // 4 ranks, each with 4 outgoing buckets.
+        let m = matrix.clone();
+        let out = World::run(4, move |c| c.alltoallv(m[c.rank()].clone()));
+        // out[dst][src] must equal matrix[src][dst]
+        for (dst, row) in out.iter().enumerate() {
+            for (src, bucket) in row.iter().enumerate() {
+                prop_assert_eq!(bucket, &matrix[src][dst]);
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_property(vals in prop::collection::vec(0u64..10_000, 1..9)) {
+        let n = vals.len();
+        let vals2 = vals.clone();
+        let out = World::run(n, move |c| c.exscan(vals2[c.rank()], 0, |a, b| a + b));
+        let mut expect = 0;
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(out[i], expect);
+            expect += v;
+        }
+    }
+
+    #[test]
+    fn split_partitions_ranks(colors in prop::collection::vec(0u64..3, 2..9)) {
+        let n = colors.len();
+        let colors2 = colors.clone();
+        let out = World::run(n, move |c| {
+            let sub = c.split(colors2[c.rank()], c.rank() as u64);
+            (sub.rank(), sub.size())
+        });
+        for (i, (sub_rank, sub_size)) in out.iter().enumerate() {
+            let same: Vec<usize> =
+                (0..n).filter(|&j| colors[j] == colors[i]).collect();
+            prop_assert_eq!(*sub_size, same.len());
+            prop_assert_eq!(same[*sub_rank], i);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A minimal deterministic event queue for scenario timelines.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in seconds.
+pub type SimTime = f64;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Ties break
+        // by insertion order (seq), making runs deterministic.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first queue of `(time, payload)` with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.peek_time(), Some(1.0));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+}

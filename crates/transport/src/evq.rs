@@ -1,0 +1,270 @@
+//! EVPath-flavoured typed event channels ("stones").
+//!
+//! PreDatA buffers and manipulates in-transit data with the EVPath event
+//! system: events flow through a graph of *stones*, each applying a
+//! filter/transform action or handing events to a terminal handler. This
+//! module provides the small subset the staging runtime needs: a typed
+//! [`EventQueue`] and composable [`Stone`] chains.
+//!
+//! Stones run inline on the submitting thread (EVPath's default immediate
+//! dispatch); queues decouple threads where the staging node's worker pool
+//! needs it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+/// Typed MPMC event queue connecting pipeline threads inside a staging
+/// node. Bounded queues provide back-pressure so a fast fetcher cannot
+/// overrun a slow operator (the streaming-memory constraint).
+pub struct EventQueue<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+/// Queue submission failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError<T> {
+    /// Bounded queue is full (back-pressure).
+    Full(T),
+    /// All consumers dropped.
+    Closed(T),
+}
+
+impl<T> EventQueue<T> {
+    /// Unbounded queue.
+    pub fn unbounded() -> Self {
+        let (tx, rx) = unbounded();
+        EventQueue { tx, rx }
+    }
+
+    /// Bounded queue of capacity `cap`.
+    pub fn bounded(cap: usize) -> Self {
+        let (tx, rx) = bounded(cap);
+        EventQueue { tx, rx }
+    }
+
+    /// Blocking submit (waits when bounded and full).
+    pub fn submit(&self, ev: T) {
+        // Ignoring the error mirrors EVPath: submitting to a torn-down
+        // graph is a no-op.
+        let _ = self.tx.send(ev);
+    }
+
+    /// Non-blocking submit.
+    pub fn try_submit(&self, ev: T) -> Result<(), SubmitError<T>> {
+        self.tx.try_send(ev).map_err(|e| match e {
+            TrySendError::Full(v) => SubmitError::Full(v),
+            TrySendError::Disconnected(v) => SubmitError::Closed(v),
+        })
+    }
+
+    /// Blocking receive with deadline. `None` on timeout or teardown.
+    pub fn poll(&self, timeout: Duration) -> Option<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Some(v),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    pub fn try_poll(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// A clonable submission handle (e.g. one per fetcher thread).
+    pub fn sender(&self) -> QueueSender<T> {
+        QueueSender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// Cheap clonable handle for submitting into an [`EventQueue`].
+pub struct QueueSender<T> {
+    tx: Sender<T>,
+}
+
+impl<T> Clone for QueueSender<T> {
+    fn clone(&self) -> Self {
+        QueueSender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> QueueSender<T> {
+    pub fn submit(&self, ev: T) {
+        let _ = self.tx.send(ev);
+    }
+}
+
+/// One processing element: takes an event, optionally emits a transformed
+/// event downstream.
+type Action<T> = Box<dyn FnMut(T) -> Option<T> + Send>;
+
+/// A linear chain of actions ending in a terminal handler — the common
+/// stone topology in PreDatA's staging pipeline (decode → filter →
+/// operate → output).
+pub struct Stone<T> {
+    actions: Vec<Action<T>>,
+    terminal: Box<dyn FnMut(T) + Send>,
+    processed: u64,
+    dropped: u64,
+}
+
+impl<T> Stone<T> {
+    /// Create a stone whose surviving events reach `terminal`.
+    pub fn new(terminal: impl FnMut(T) + Send + 'static) -> Self {
+        Stone {
+            actions: Vec::new(),
+            terminal: Box::new(terminal),
+            processed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a filter: events for which `keep` is false are dropped.
+    pub fn filter(mut self, mut keep: impl FnMut(&T) -> bool + Send + 'static) -> Self {
+        self.actions
+            .push(Box::new(move |ev| if keep(&ev) { Some(ev) } else { None }));
+        self
+    }
+
+    /// Append a transform.
+    pub fn transform(mut self, mut f: impl FnMut(T) -> T + Send + 'static) -> Self {
+        self.actions.push(Box::new(move |ev| Some(f(ev))));
+        self
+    }
+
+    /// Submit one event through the chain.
+    pub fn submit(&mut self, ev: T) {
+        let mut cur = Some(ev);
+        for action in &mut self.actions {
+            match cur.take() {
+                Some(ev) => cur = action(ev),
+                None => break,
+            }
+        }
+        match cur {
+            Some(ev) => {
+                self.processed += 1;
+                (self.terminal)(ev);
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    /// (delivered, dropped) counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.processed, self.dropped)
+    }
+}
+
+/// Drain a queue into a stone until the queue closes or `deadline_idle`
+/// passes with no event. Returns number of events processed.
+pub fn pump<T>(queue: &EventQueue<T>, stone: &mut Stone<T>, deadline_idle: Duration) -> u64 {
+    let mut n = 0;
+    while let Some(ev) = queue.poll(deadline_idle) {
+        stone.submit(ev);
+        n += 1;
+    }
+    n
+}
+
+/// Convenience: shareable queue pair for producer/consumer threads.
+pub fn channel<T>(cap: Option<usize>) -> (QueueSender<T>, Arc<EventQueue<T>>) {
+    let q = Arc::new(match cap {
+        Some(c) => EventQueue::bounded(c),
+        None => EventQueue::unbounded(),
+    });
+    (q.sender(), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn queue_fifo() {
+        let q = EventQueue::unbounded();
+        q.submit(1);
+        q.submit(2);
+        assert_eq!(q.try_poll(), Some(1));
+        assert_eq!(q.try_poll(), Some(2));
+        assert_eq!(q.try_poll(), None);
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let q = EventQueue::bounded(2);
+        q.try_submit(1).unwrap();
+        q.try_submit(2).unwrap();
+        assert_eq!(q.try_submit(3), Err(SubmitError::Full(3)));
+        assert_eq!(q.poll(Duration::from_millis(1)), Some(1));
+        q.try_submit(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn stone_chain_filters_and_transforms() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let mut stone = Stone::new(move |v: u64| {
+            seen2.fetch_add(v, Ordering::SeqCst);
+        })
+        .filter(|v| v % 2 == 0)
+        .transform(|v| v * 10);
+        for v in 0..6 {
+            stone.submit(v);
+        }
+        // Evens 0,2,4 → ×10 → 0+20+40 = 60.
+        assert_eq!(seen.load(Ordering::SeqCst), 60);
+        assert_eq!(stone.counts(), (3, 3));
+    }
+
+    #[test]
+    fn pump_until_idle() {
+        let q = EventQueue::unbounded();
+        for v in 0..10u32 {
+            q.submit(v);
+        }
+        let mut out = Vec::new();
+        let collected = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let c2 = Arc::clone(&collected);
+        let mut stone = Stone::new(move |v| c2.lock().push(v));
+        let n = pump(&q, &mut stone, Duration::from_millis(5));
+        assert_eq!(n, 10);
+        out.extend(collected.lock().iter().copied());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let (tx, q) = channel::<u64>(Some(8));
+        let h = std::thread::spawn(move || {
+            for v in 0..100 {
+                tx.submit(v);
+            }
+        });
+        let mut sum = 0;
+        let mut got = 0;
+        while got < 100 {
+            if let Some(v) = q.poll(Duration::from_secs(1)) {
+                sum += v;
+                got += 1;
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

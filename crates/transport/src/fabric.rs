@@ -1,0 +1,452 @@
+//! The in-process fabric: memory registry, request queues, completions.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::request::FetchRequest;
+
+/// Opaque handle to memory exposed for one-sided access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemHandle(u64);
+
+impl MemHandle {
+    #[cfg(test)]
+    pub(crate) fn test_only(v: u64) -> Self {
+        MemHandle(v)
+    }
+}
+
+/// Transport failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// `rdma_get` on a handle that was never exposed or already consumed.
+    StaleHandle(MemHandle),
+    /// Receive timed out.
+    Timeout,
+    /// The peer side has been dropped.
+    Disconnected,
+    /// Exposing this buffer would exceed the endpoint's pin budget.
+    PinBudgetExceeded { requested: usize, available: usize },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::StaleHandle(h) => write!(f, "stale RDMA handle {h:?}"),
+            TransportError::Timeout => write!(f, "transport receive timed out"),
+            TransportError::Disconnected => write!(f, "peer endpoint dropped"),
+            TransportError::PinBudgetExceeded {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "pin budget exceeded: need {requested} B, {available} B free"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Completion notice delivered to the exposing compute endpoint when a
+/// staging node finishes pulling one of its chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionEvent {
+    pub handle: MemHandle,
+    pub bytes: usize,
+    pub io_step: u64,
+}
+
+/// Fabric-wide counters.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    rdma_gets: AtomicU64,
+    bytes_pulled: AtomicU64,
+    requests_sent: AtomicU64,
+    request_bytes: AtomicU64,
+    /// High-water mark of simultaneously exposed (pinned) bytes across all
+    /// compute endpoints — the paper's "moderate consequent costs for data
+    /// buffering on compute nodes".
+    peak_pinned_bytes: AtomicUsize,
+}
+
+impl FabricStats {
+    pub fn rdma_gets(&self) -> u64 {
+        self.rdma_gets.load(Ordering::Relaxed)
+    }
+    pub fn bytes_pulled(&self) -> u64 {
+        self.bytes_pulled.load(Ordering::Relaxed)
+    }
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent.load(Ordering::Relaxed)
+    }
+    pub fn request_bytes(&self) -> u64 {
+        self.request_bytes.load(Ordering::Relaxed)
+    }
+    pub fn peak_pinned_bytes(&self) -> usize {
+        self.peak_pinned_bytes.load(Ordering::Relaxed)
+    }
+
+    fn note_pinned(&self, now: usize) {
+        self.peak_pinned_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    next: u64,
+    exposed: HashMap<u64, (Arc<[u8]>, u64)>, // handle -> (buf, io_step)
+    pinned_bytes: usize,
+}
+
+struct FabricInner {
+    registry: Mutex<Registry>,
+    stats: FabricStats,
+    /// Per-staging-rank request queues.
+    req_tx: Vec<Sender<FetchRequest>>,
+    /// Per-compute-rank completion queues.
+    comp_tx: Vec<Sender<CompletionEvent>>,
+}
+
+/// Factory for matched endpoint sets.
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Build a fabric connecting `n_compute` compute endpoints to
+    /// `n_staging` staging endpoints. `pin_budget` bounds the bytes each
+    /// compute endpoint may keep exposed at once (None = unlimited).
+    pub fn new(
+        n_compute: usize,
+        n_staging: usize,
+        pin_budget: Option<usize>,
+    ) -> (Fabric, Vec<ComputeEndpoint>, Vec<StagingEndpoint>) {
+        let (req_tx, req_rx): (Vec<_>, Vec<_>) = (0..n_staging).map(|_| unbounded()).unzip();
+        let (comp_tx, comp_rx): (Vec<_>, Vec<_>) = (0..n_compute).map(|_| unbounded()).unzip();
+        let inner = Arc::new(FabricInner {
+            registry: Mutex::new(Registry {
+                next: 1,
+                exposed: HashMap::new(),
+                pinned_bytes: 0,
+            }),
+            stats: FabricStats::default(),
+            req_tx,
+            comp_tx,
+        });
+        let computes = comp_rx
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| ComputeEndpoint {
+                rank,
+                inner: Arc::clone(&inner),
+                completions: rx,
+                pin_budget,
+                my_pinned: Arc::new(AtomicUsize::new(0)),
+            })
+            .collect();
+        let stagings = req_rx
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| StagingEndpoint {
+                rank,
+                inner: Arc::clone(&inner),
+                requests: rx,
+            })
+            .collect();
+        (Fabric { inner }, computes, stagings)
+    }
+
+    pub fn stats(&self) -> &FabricStats {
+        &self.inner.stats
+    }
+
+    /// Bytes currently exposed (pinned) fabric-wide.
+    pub fn pinned_bytes(&self) -> usize {
+        self.inner.registry.lock().pinned_bytes
+    }
+}
+
+/// Compute-node side of the fabric.
+pub struct ComputeEndpoint {
+    rank: usize,
+    inner: Arc<FabricInner>,
+    completions: Receiver<CompletionEvent>,
+    pin_budget: Option<usize>,
+    my_pinned: Arc<AtomicUsize>,
+}
+
+impl ComputeEndpoint {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Bytes this endpoint currently has exposed.
+    pub fn pinned_bytes(&self) -> usize {
+        self.my_pinned.load(Ordering::Relaxed)
+    }
+
+    /// Register a packed chunk for one-sided access and get its handle.
+    /// The buffer stays pinned until a staging node pulls it.
+    pub fn expose(&self, buf: Arc<[u8]>, io_step: u64) -> Result<MemHandle, TransportError> {
+        let len = buf.len();
+        if let Some(budget) = self.pin_budget {
+            let current = self.my_pinned.load(Ordering::Relaxed);
+            if current + len > budget {
+                return Err(TransportError::PinBudgetExceeded {
+                    requested: len,
+                    available: budget.saturating_sub(current),
+                });
+            }
+        }
+        let mut reg = self.inner.registry.lock();
+        let h = reg.next;
+        reg.next += 1;
+        reg.exposed.insert(h, (buf, io_step));
+        reg.pinned_bytes += len;
+        let global_now = reg.pinned_bytes;
+        drop(reg);
+        self.my_pinned.fetch_add(len, Ordering::Relaxed);
+        self.inner.stats.note_pinned(global_now);
+        Ok(MemHandle(h))
+    }
+
+    /// Send a data-fetch request to staging endpoint `staging_rank`.
+    pub fn send_request(
+        &self,
+        staging_rank: usize,
+        req: FetchRequest,
+    ) -> Result<(), TransportError> {
+        self.inner
+            .stats
+            .requests_sent
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .request_bytes
+            .fetch_add(req.wire_bytes() as u64, Ordering::Relaxed);
+        self.inner.req_tx[staging_rank]
+            .send(req)
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Block until the next pull-completion for one of this endpoint's
+    /// exposures. Used by the compute-side runtime to recycle buffers.
+    pub fn wait_completion(&self, timeout: Duration) -> Result<CompletionEvent, TransportError> {
+        match self.completions.recv_timeout(timeout) {
+            Ok(ev) => {
+                self.my_pinned.fetch_sub(ev.bytes, Ordering::Relaxed);
+                Ok(ev)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    /// Drain any already-arrived completions without blocking.
+    pub fn poll_completions(&self) -> Vec<CompletionEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.completions.try_recv() {
+            self.my_pinned.fetch_sub(ev.bytes, Ordering::Relaxed);
+            out.push(ev);
+        }
+        out
+    }
+}
+
+/// Staging-node side of the fabric.
+pub struct StagingEndpoint {
+    rank: usize,
+    inner: Arc<FabricInner>,
+    requests: Receiver<FetchRequest>,
+}
+
+impl StagingEndpoint {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Block for the next fetch request, with a deadline.
+    pub fn recv_request(&self, timeout: Duration) -> Result<FetchRequest, TransportError> {
+        match self.requests.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    /// Non-blocking request poll.
+    pub fn try_recv_request(&self) -> Option<FetchRequest> {
+        self.requests.try_recv().ok()
+    }
+
+    /// One-sided pull of an exposed chunk. Consumes the exposure (the
+    /// compute side sees a completion and may reuse its buffer) and
+    /// returns the bytes.
+    pub fn rdma_get(&self, req: &FetchRequest) -> Result<Arc<[u8]>, TransportError> {
+        let (buf, io_step) = {
+            let mut reg = self.inner.registry.lock();
+            let entry = reg
+                .exposed
+                .remove(&handle_raw(req.handle))
+                .ok_or(TransportError::StaleHandle(req.handle))?;
+            reg.pinned_bytes -= entry.0.len();
+            entry
+        };
+        self.inner.stats.rdma_gets.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_pulled
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        // Completion is best-effort: if the compute endpoint is gone the
+        // data still flows (matches one-sided RDMA semantics).
+        let _ = self.inner.comp_tx[req.src_rank].send(CompletionEvent {
+            handle: req.handle,
+            bytes: buf.len(),
+            io_step,
+        });
+        Ok(buf)
+    }
+}
+
+fn handle_raw(h: MemHandle) -> u64 {
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffs::AttrList;
+
+    fn req(src: usize, handle: MemHandle, bytes: usize) -> FetchRequest {
+        FetchRequest {
+            src_rank: src,
+            io_step: 0,
+            handle,
+            chunk_bytes: bytes,
+            format: 0,
+            attrs: AttrList::new(),
+        }
+    }
+
+    #[test]
+    fn expose_pull_complete_cycle() {
+        let (fabric, computes, stagings) = Fabric::new(1, 1, None);
+        let buf: Arc<[u8]> = vec![7u8; 1024].into();
+        let h = computes[0].expose(Arc::clone(&buf), 5).unwrap();
+        assert_eq!(computes[0].pinned_bytes(), 1024);
+        assert_eq!(fabric.pinned_bytes(), 1024);
+
+        let r = req(0, h, 1024);
+        computes[0].send_request(0, r.clone()).unwrap();
+        let got = stagings[0].recv_request(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.handle, h);
+
+        let data = stagings[0].rdma_get(&got).unwrap();
+        assert_eq!(&data[..], &buf[..]);
+        assert_eq!(fabric.pinned_bytes(), 0);
+
+        let ev = computes[0].wait_completion(Duration::from_secs(1)).unwrap();
+        assert_eq!(
+            ev,
+            CompletionEvent {
+                handle: h,
+                bytes: 1024,
+                io_step: 5
+            }
+        );
+        assert_eq!(computes[0].pinned_bytes(), 0);
+
+        assert_eq!(fabric.stats().rdma_gets(), 1);
+        assert_eq!(fabric.stats().bytes_pulled(), 1024);
+        assert_eq!(fabric.stats().requests_sent(), 1);
+        assert_eq!(fabric.stats().peak_pinned_bytes(), 1024);
+    }
+
+    #[test]
+    fn double_get_is_stale() {
+        let (_f, computes, stagings) = Fabric::new(1, 1, None);
+        let h = computes[0].expose(vec![0u8; 8].into(), 0).unwrap();
+        let r = req(0, h, 8);
+        stagings[0].rdma_get(&r).unwrap();
+        assert_eq!(
+            stagings[0].rdma_get(&r),
+            Err(TransportError::StaleHandle(h))
+        );
+    }
+
+    #[test]
+    fn pin_budget_enforced_per_endpoint() {
+        let (_f, computes, stagings) = Fabric::new(1, 1, Some(100));
+        let h1 = computes[0].expose(vec![0u8; 60].into(), 0).unwrap();
+        let err = computes[0].expose(vec![0u8; 60].into(), 0).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::PinBudgetExceeded {
+                requested: 60,
+                available: 40
+            }
+        );
+        // After the pull completes, budget frees up.
+        stagings[0].rdma_get(&req(0, h1, 60)).unwrap();
+        computes[0].wait_completion(Duration::from_secs(1)).unwrap();
+        computes[0].expose(vec![0u8; 60].into(), 0).unwrap();
+    }
+
+    #[test]
+    fn requests_fan_to_correct_staging_rank() {
+        let (_f, computes, stagings) = Fabric::new(2, 2, None);
+        let h0 = computes[0].expose(vec![1u8; 4].into(), 0).unwrap();
+        let h1 = computes[1].expose(vec![2u8; 4].into(), 0).unwrap();
+        computes[0].send_request(1, req(0, h0, 4)).unwrap();
+        computes[1].send_request(0, req(1, h1, 4)).unwrap();
+        let a = stagings[0].recv_request(Duration::from_secs(1)).unwrap();
+        let b = stagings[1].recv_request(Duration::from_secs(1)).unwrap();
+        assert_eq!(a.src_rank, 1);
+        assert_eq!(b.src_rank, 0);
+        assert!(stagings[0].try_recv_request().is_none());
+    }
+
+    #[test]
+    fn recv_request_times_out() {
+        let (_f, _computes, stagings) = Fabric::new(1, 1, None);
+        assert_eq!(
+            stagings[0]
+                .recv_request(Duration::from_millis(10))
+                .unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn concurrent_pulls_from_many_computes() {
+        let n = 16;
+        let (fabric, computes, stagings) = Fabric::new(n, 1, None);
+        let staging = &stagings[0];
+        std::thread::scope(|s| {
+            for (i, c) in computes.iter().enumerate() {
+                s.spawn(move || {
+                    let h = c.expose(vec![i as u8; 256].into(), 0).unwrap();
+                    c.send_request(0, req(i, h, 256)).unwrap();
+                    c.wait_completion(Duration::from_secs(5)).unwrap();
+                });
+            }
+            s.spawn(move || {
+                for _ in 0..n {
+                    let r = staging.recv_request(Duration::from_secs(5)).unwrap();
+                    let data = staging.rdma_get(&r).unwrap();
+                    assert!(data.iter().all(|&b| b == r.src_rank as u8));
+                }
+            });
+        });
+        assert_eq!(fabric.stats().rdma_gets(), n as u64);
+        assert_eq!(fabric.pinned_bytes(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! `transport` — asynchronous data movement between compute and staging.
+//!
+//! This crate reproduces the substrate PreDatA builds on (the paper's
+//! DataStager \[2\] + EVPath \[17\] layer): compute nodes *expose* packed
+//! data chunks for one-sided access, send small *data-fetch requests* to
+//! their staging node, and staging nodes later *pull* the bulk bytes with
+//! RDMA-get semantics, on a schedule chosen to bound interference with the
+//! application's own communication.
+//!
+//! On Jaguar the wire was Portals RDMA over SeaStar; here the "fabric" is
+//! an in-process memory registry plus lock-free queues, preserving the
+//! protocol exactly:
+//!
+//! 1. compute: [`ComputeEndpoint::expose`] a chunk → [`MemHandle`]
+//! 2. compute: [`ComputeEndpoint::send_request`] with attached
+//!    [`ffs::AttrList`] partial results (the Stage-1c "data fetch request")
+//! 3. staging: [`StagingEndpoint::recv_request`]s, aggregates attachments
+//! 4. staging: [`StagingEndpoint::rdma_get`] pulls bytes one-sided;
+//!    completion is posted to the compute endpoint's completion queue so
+//!    it can recycle its buffer.
+//!
+//! Pull *order and pacing* are policy ([`PullPolicy`]): FIFO, largest-first,
+//! or phase-aware (pause while the application is inside collectives —
+//! the mechanism behind the paper's "<6% worst-case interference" claim).
+//!
+//! The [`evq`] module provides EVPath-flavoured typed event queues
+//! ("stones") used to chain in-transit processing inside a staging node.
+
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use transport::{Fabric, FetchRequest};
+//!
+//! let (fabric, computes, stagings) = Fabric::new(1, 1, None);
+//! let buf: Arc<[u8]> = vec![7u8; 64].into();
+//! let handle = computes[0].expose(Arc::clone(&buf), 0).unwrap();
+//! computes[0].send_request(0, FetchRequest {
+//!     src_rank: 0, io_step: 0, handle, chunk_bytes: 64,
+//!     format: 0, attrs: ffs::AttrList::new(),
+//! }).unwrap();
+//!
+//! let req = stagings[0].recv_request(Duration::from_secs(1)).unwrap();
+//! let pulled = stagings[0].rdma_get(&req).unwrap();     // one-sided get
+//! assert_eq!(&pulled[..], &buf[..]);
+//! computes[0].wait_completion(Duration::from_secs(1)).unwrap(); // buffer reusable
+//! assert_eq!(fabric.stats().bytes_pulled(), 64);
+//! ```
+
+pub mod evq;
+mod fabric;
+mod policy;
+mod request;
+mod router;
+
+pub use fabric::{
+    CompletionEvent, ComputeEndpoint, Fabric, FabricStats, MemHandle, StagingEndpoint,
+    TransportError,
+};
+pub use policy::{
+    CongestionSignal, FifoPolicy, LargestFirstPolicy, PhaseAwarePolicy, PullPolicy,
+    RateLimitedPolicy,
+};
+pub use request::FetchRequest;
+pub use router::{BlockRouter, ModuloRouter, Router};

@@ -1,0 +1,14 @@
+//! `predata` — umbrella crate for the PreDatA reproduction.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! can depend on a single crate. See the README for the architecture and
+//! DESIGN.md for the paper-to-module map.
+
+pub use apps;
+pub use bpio;
+pub use dataspaces;
+pub use ffs;
+pub use minimpi;
+pub use predata_core as core;
+pub use simhec;
+pub use transport;

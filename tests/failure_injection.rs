@@ -1,0 +1,184 @@
+//! Failure injection: the middleware must fail loudly and precisely, not
+//! hang or fabricate data, when the transport or the application
+//! misbehaves.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use predata::core::op::StreamOp;
+use predata::core::ops::HistogramOp;
+use predata::core::schema::make_particle_pg;
+use predata::core::staging::{StagingError, StagingRank};
+use predata::core::{PackedChunk, PredataClient, StagingArea, StagingConfig};
+use predata::ffs::AttrList;
+use predata::minimpi::World;
+use predata::transport::{
+    BlockRouter, Fabric, FetchRequest, FifoPolicy, PullPolicy, Router, TransportError,
+};
+
+fn out_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("failure-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A compute rank exposes garbage bytes instead of a packed chunk: the
+/// staging rank must report a decode error, not crash or deliver junk.
+#[test]
+fn corrupt_chunk_reported_as_chunk_error() {
+    let (_fabric, computes, stagings) = Fabric::new(1, 1, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(1, 1));
+    let dir = out_dir("corrupt");
+
+    // Hand-roll a malicious "client".
+    let garbage: Arc<[u8]> = vec![0xAB; 4096].into();
+    let handle = computes[0].expose(garbage, 0).unwrap();
+    computes[0]
+        .send_request(
+            0,
+            FetchRequest {
+                src_rank: 0,
+                io_step: 0,
+                handle,
+                chunk_bytes: 4096,
+                format: PackedChunk::format_fingerprint(),
+                attrs: AttrList::new(),
+            },
+        )
+        .unwrap();
+
+    let (_world, mut comms) = World::with_size(1);
+    let mut rank = StagingRank::new(
+        comms.remove(0),
+        stagings.into_iter().next().unwrap(),
+        router,
+        Box::new(FifoPolicy::default()),
+        vec![Box::new(HistogramOp::new(vec![0], 4)) as Box<dyn StreamOp>],
+        StagingConfig::new(1, &dir),
+    );
+    match rank.run_step(0) {
+        Err(StagingError::Chunk(_)) => {}
+        other => panic!("expected a chunk decode error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A request for an *older* step than the one being gathered is a
+/// protocol violation (compute ranks move in lockstep) and must surface
+/// as StepSkew.
+#[test]
+fn stale_step_reported_as_skew() {
+    let (_fabric, computes, stagings) = Fabric::new(1, 1, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(1, 1));
+    let dir = out_dir("skew");
+    let client = PredataClient::new(
+        computes.into_iter().next().unwrap(),
+        Arc::clone(&router),
+        vec![],
+    );
+    client
+        .write_pg(make_particle_pg(0, 3, vec![0.0; 8]))
+        .unwrap(); // step 3
+
+    let (_world, mut comms) = World::with_size(1);
+    let mut rank = StagingRank::new(
+        comms.remove(0),
+        stagings.into_iter().next().unwrap(),
+        router,
+        Box::new(FifoPolicy::default()),
+        vec![],
+        StagingConfig::new(1, &dir),
+    );
+    // Staging is already past step 3, gathering step 7.
+    match rank.run_step(7) {
+        Err(StagingError::StepSkew {
+            expected: 7,
+            got: 3,
+        }) => {}
+        other => panic!("expected step skew, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A pin budget too small for the dump makes the *client* fail fast with
+/// a budget error instead of silently over-committing compute-node memory.
+#[test]
+fn pin_budget_exhaustion_fails_fast() {
+    let (_fabric, computes, _stagings) = Fabric::new(1, 1, Some(1024));
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(1, 1));
+    let client = PredataClient::new(computes.into_iter().next().unwrap(), router, vec![]);
+    // First small write fits…
+    client
+        .write_pg(make_particle_pg(0, 0, vec![0.0; 8]))
+        .unwrap();
+    // …the second overflows the 1 KiB budget while the first is unpulled.
+    let err = client
+        .write_pg(make_particle_pg(0, 0, vec![0.0; 64]))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("pin budget"), "unexpected error: {msg}");
+}
+
+/// A dead staging area must not hang the application forever: the drain
+/// wait times out.
+#[test]
+fn drain_times_out_without_staging() {
+    let (_fabric, computes, stagings) = Fabric::new(1, 1, None);
+    drop(stagings); // staging area never comes up
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(1, 1));
+    let client = PredataClient::new(computes.into_iter().next().unwrap(), router, vec![]);
+    // The request send fails (endpoint dropped) or the drain later stalls;
+    // either way the client surfaces an error rather than blocking.
+    match client.write_pg(make_particle_pg(0, 0, vec![0.0; 8])) {
+        Err(_) => {}
+        Ok(_) => {
+            let err = client.wait_drained(Duration::from_millis(50)).unwrap_err();
+            assert_eq!(err, TransportError::Timeout);
+        }
+    }
+}
+
+/// One slow compute rank delays its dump past the gather deadline; the
+/// staging area reports the timeout and the *other* ranks' work is not
+/// silently half-applied.
+#[test]
+fn partial_dump_times_out_cleanly() {
+    let n_compute = 3;
+    let (_fabric, computes, stagings) = Fabric::new(n_compute, 1, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(n_compute, 1));
+    let dir = out_dir("partial");
+    let mut cfg = StagingConfig::new(n_compute, &dir);
+    cfg.gather_timeout = Duration::from_millis(80);
+    let area = StagingArea::spawn(
+        stagings,
+        Arc::clone(&router),
+        Arc::new(|_| vec![Box::new(HistogramOp::new(vec![0], 4)) as Box<dyn StreamOp>]),
+        Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+        cfg,
+        1,
+    );
+    let clients: Vec<PredataClient> = computes
+        .into_iter()
+        .map(|e| PredataClient::new(e, Arc::clone(&router), vec![]))
+        .collect();
+    // Only 2 of 3 ranks write.
+    clients[0]
+        .write_pg(make_particle_pg(0, 0, vec![0.0; 8]))
+        .unwrap();
+    clients[1]
+        .write_pg(make_particle_pg(1, 0, vec![0.0; 8]))
+        .unwrap();
+    let reports = area.join();
+    assert!(matches!(
+        reports[0],
+        Err(StagingError::Transport(TransportError::Timeout))
+    ));
+    // No operator output files were produced for the incomplete step.
+    let produced: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("hist"))
+        .collect();
+    assert!(produced.is_empty(), "no partial results: {produced:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
