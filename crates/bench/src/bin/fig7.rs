@@ -37,8 +37,8 @@ fn main() {
             ));
             series.push(serde_json::json!({
                 "cores": cores,
-                "in_compute": {"busy_s": i.busy_time, "latency_s": i.latency},
-                "staging": {"busy_s": s.busy_time, "latency_s": s.latency},
+                "in_compute": serde_json::json!({"busy_s": i.busy_time, "latency_s": i.latency}),
+                "staging": serde_json::json!({"busy_s": s.busy_time, "latency_s": s.latency}),
             }));
         }
         print_table(

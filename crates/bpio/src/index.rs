@@ -84,7 +84,10 @@ impl FileIndex {
 
     /// Look up a file-level annotation.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     pub fn encode(&self) -> Vec<u8> {

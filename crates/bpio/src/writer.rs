@@ -182,7 +182,8 @@ mod tests {
             for rank in 0..2u64 {
                 let mut pg = ProcessGroup::new("g", rank, step);
                 pg.write(&g, "off", DataArray::U64(vec![rank * 4])).unwrap();
-                pg.write(&g, "x", DataArray::F64(vec![step as f64; 4])).unwrap();
+                pg.write(&g, "x", DataArray::F64(vec![step as f64; 4]))
+                    .unwrap();
                 w.append_pg(&pg).unwrap();
             }
         }

@@ -87,8 +87,14 @@ impl PackedChunk {
     }
 
     /// Unpack a buffer produced by [`PackedChunk::pack`].
+    ///
+    /// Decodes through [`ffs::decode_view`], so the (typically multi-MB)
+    /// `pg` payload is read as a borrowed slice of `buf` — never copied
+    /// into an intermediate `Vec` before [`ProcessGroup::decode`] parses
+    /// it. This is the staging hot path: every pulled chunk goes through
+    /// here once per step.
     pub fn unpack(buf: &[u8]) -> Result<PackedChunk, ChunkError> {
-        let rec = ffs::decode(buf, None)?;
+        let rec = ffs::decode_view(buf, None)?;
         let group = rec
             .get("group")
             .and_then(|v| v.as_str())
@@ -96,16 +102,16 @@ impl PackedChunk {
             .to_string();
         let writer_rank = rec
             .get("writer_rank")
-            .and_then(Value::as_u64)
+            .and_then(|v| v.as_u64())
             .ok_or(ChunkError::Malformed("rank"))?;
         let step = rec
             .get("step")
-            .and_then(Value::as_u64)
+            .and_then(|v| v.as_u64())
             .ok_or(ChunkError::Malformed("step"))?;
-        let pg_bytes = match rec.get("pg") {
-            Some(Value::ArrU8(b)) => b,
-            _ => return Err(ChunkError::Malformed("missing payload")),
-        };
+        let pg_bytes = rec
+            .get("pg")
+            .and_then(|v| v.bytes())
+            .ok_or(ChunkError::Malformed("missing payload"))?;
         let pg = ProcessGroup::decode(pg_bytes)?;
         Ok(PackedChunk {
             group,

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ffs::AttrList;
 use minimpi::Comm;
@@ -75,6 +76,60 @@ impl<'a> OpCtx<'a> {
     pub fn n_ranks(&self) -> usize {
         self.comm.size()
     }
+
+    /// The thread-safe subset of this context that `map` needs.
+    pub fn map_ctx(&self) -> MapCtx<'a> {
+        MapCtx {
+            my_rank: self.comm.rank(),
+            n_ranks: self.comm.size(),
+            step: self.step,
+            n_compute: self.n_compute,
+            agg: self.agg,
+        }
+    }
+}
+
+/// The map-phase execution context: everything [`ChunkMapper::map_chunk`]
+/// may consult, and nothing more. Unlike [`OpCtx`] it carries no `&Comm`,
+/// so it is `Send + Sync` and can be shared by a pool of decode+map
+/// workers. (Map is communication-free by construction — the shuffle is
+/// the only communicating phase between initialize and finalize.)
+#[derive(Debug, Clone, Copy)]
+pub struct MapCtx<'a> {
+    /// This pipeline rank.
+    pub my_rank: usize,
+    /// Number of pipeline ranks.
+    pub n_ranks: usize,
+    /// The I/O step being processed.
+    pub step: u64,
+    /// Total number of *compute* ranks contributing chunks.
+    pub n_compute: usize,
+    /// The step's global aggregates, when the runtime has them.
+    pub agg: Option<&'a Aggregates>,
+}
+
+impl MapCtx<'_> {
+    pub fn my_rank(&self) -> usize {
+        self.my_rank
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+}
+
+/// The pure map half of an operator: per-chunk, stateless, shareable.
+///
+/// `map_chunk` must depend only on the chunk, the context, and state
+/// frozen at [`StreamOp::mapper`] time (i.e. set by `initialize`). The
+/// staging runtime calls it concurrently from N workers and merges the
+/// per-chunk outputs in canonical chunk order before `combine`, which
+/// makes operator results **bit-identical for every worker count** —
+/// per-chunk purity is what buys that, since floating-point accumulation
+/// across chunks is not associative and must happen in one place
+/// (`combine`), in one deterministic order.
+pub trait ChunkMapper: Send + Sync {
+    fn map_chunk(&self, chunk: &PackedChunk, ctx: &MapCtx) -> Vec<Tagged>;
 }
 
 /// Optional compute-node first pass (paper Stage 1a): local, deterministic
@@ -88,8 +143,9 @@ pub trait ComputeSideOp: Send + Sync {
 /// A pluggable in-transit operation (paper Fig. 5).
 ///
 /// Call order per I/O step, on every pipeline rank:
-/// `initialize` → `map`* (once per chunk, streaming) → `combine` →
-/// shuffle (`partition` routes tags) → `reduce`* (once per owned tag) →
+/// `initialize` → `map`* (once per chunk, streaming, possibly from N
+/// concurrent workers via [`StreamOp::mapper`]) → `combine` → shuffle
+/// (`partition` routes tags) → `reduce`* (once per owned tag) →
 /// `finalize`.
 pub trait StreamOp: Send {
     fn name(&self) -> &str;
@@ -97,10 +153,20 @@ pub trait StreamOp: Send {
     /// Set up per-step state from the global aggregates.
     fn initialize(&mut self, agg: &Aggregates, ctx: &OpCtx);
 
+    /// The operator's pure map half, snapshotting any state `initialize`
+    /// set up. Called once per step, after `initialize`; the returned
+    /// mapper is shared (`Arc`) by every decode+map worker.
+    fn mapper(&self) -> Arc<dyn ChunkMapper>;
+
     /// Process one packed partial data chunk; emit tagged intermediates.
     /// Chunks arrive in pull-completion order and are dropped afterwards
-    /// (single-pass streaming).
-    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged>;
+    /// (single-pass streaming). Provided: delegates to [`mapper`]
+    /// (serial paths — the in-compute runner, tests — use this).
+    ///
+    /// [`mapper`]: StreamOp::mapper
+    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged> {
+        self.mapper().map_chunk(chunk, &ctx.map_ctx())
+    }
 
     /// Optional local pre-aggregation before the shuffle (cuts shuffle
     /// volume; the ablation benches measure by how much).
@@ -128,12 +194,41 @@ pub fn shuffle_tagged(
     comm: &Comm,
 ) -> BTreeMap<u64, Vec<Vec<u8>>> {
     let n = comm.size();
-    // Serialize per-destination buckets: [tag u64][len u32][bytes]…
-    let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); n];
-    for item in items {
+    // First pass: route every item and pre-size the per-destination
+    // buckets so serialization below never reallocates.
+    let mut routed = Vec::with_capacity(items.len());
+    let mut bucket_bytes = vec![0usize; n];
+    let mut misrouted = 0usize;
+    for item in &items {
         let dst = op.partition(item.tag, n);
-        debug_assert!(dst < n, "partition() out of range");
-        let b = &mut buckets[dst.min(n - 1)];
+        // Contract: partition() must return a rank in 0..n. A violation
+        // is an operator bug — wrap (modulo) so routing stays a function
+        // of the returned value, and warn loudly, rather than silently
+        // clamping everything onto the last rank.
+        let dst = if dst < n {
+            dst
+        } else {
+            misrouted += 1;
+            dst % n
+        };
+        routed.push(dst);
+        bucket_bytes[dst] += 12 + item.bytes.len();
+    }
+    if misrouted > 0 {
+        eprintln!(
+            "warning: op '{}' partition() returned out-of-range ranks for \
+             {misrouted} item(s); wrapped modulo {n}",
+            op.name()
+        );
+    }
+    // Second pass: serialize [tag u64][len u32][bytes]… into exact-sized
+    // buffers.
+    let mut buckets: Vec<Vec<u8>> = bucket_bytes
+        .iter()
+        .map(|&sz| Vec::with_capacity(sz))
+        .collect();
+    for (item, dst) in items.into_iter().zip(routed) {
+        let b = &mut buckets[dst];
         b.extend_from_slice(&item.tag.to_le_bytes());
         b.extend_from_slice(&(item.bytes.len() as u32).to_le_bytes());
         b.extend_from_slice(&item.bytes);
@@ -186,8 +281,14 @@ mod tests {
         fn initialize(&mut self, _agg: &Aggregates, _ctx: &OpCtx) {
             self.counts.clear();
         }
-        fn map(&mut self, _chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
-            unreachable!("driven directly in tests")
+        fn mapper(&self) -> Arc<dyn ChunkMapper> {
+            struct NoMap;
+            impl ChunkMapper for NoMap {
+                fn map_chunk(&self, _chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+                    unreachable!("driven directly in tests")
+                }
+            }
+            Arc::new(NoMap)
         }
         fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
             let sum = items
@@ -220,6 +321,61 @@ mod tests {
         for (rank, tags, complete) in out {
             assert_eq!(tags, vec![rank as u64, rank as u64 + 4]);
             assert!(complete);
+        }
+    }
+
+    /// An op whose `partition` violates the contract and returns ranks
+    /// ≥ n. The shuffle must wrap these modulo n — historically it
+    /// clamped them all onto the last rank, skewing that rank's load and
+    /// mis-grouping tags.
+    struct BadPartitionOp;
+
+    impl StreamOp for BadPartitionOp {
+        fn name(&self) -> &str {
+            "bad-partition"
+        }
+        fn initialize(&mut self, _agg: &Aggregates, _ctx: &OpCtx) {}
+        fn mapper(&self) -> Arc<dyn ChunkMapper> {
+            struct NoMap;
+            impl ChunkMapper for NoMap {
+                fn map_chunk(&self, _chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+                    unreachable!("driven directly in tests")
+                }
+            }
+            Arc::new(NoMap)
+        }
+        fn partition(&self, tag: u64, n_ranks: usize) -> usize {
+            // Off-by-a-lot: always out of range for n_ranks = 4.
+            tag as usize + n_ranks
+        }
+        fn reduce(&mut self, _tag: u64, _items: Vec<Vec<u8>>, _ctx: &OpCtx) {}
+        fn finalize(&mut self, _ctx: &OpCtx) -> OpResult {
+            OpResult::default()
+        }
+    }
+
+    #[test]
+    fn out_of_range_partition_wraps_modulo_not_clamped() {
+        let out = World::run(4, |comm| {
+            let op = BadPartitionOp;
+            // Rank 0 emits tags 0..8; everyone participates in the
+            // collective.
+            let items: Vec<Tagged> = if comm.rank() == 0 {
+                (0..8u64).map(|t| Tagged::new(t, vec![t as u8])).collect()
+            } else {
+                Vec::new()
+            };
+            let grouped = shuffle_tagged(items, &op, &comm);
+            grouped.keys().copied().collect::<Vec<u64>>()
+        });
+        // partition(tag) = tag + 4, wrapped mod 4 = tag % 4: each rank r
+        // owns tags r and r+4. The old clamp sent all 8 tags to rank 3.
+        for (rank, tags) in out.iter().enumerate() {
+            assert_eq!(
+                *tags,
+                vec![rank as u64, rank as u64 + 4],
+                "rank {rank} received wrong tags"
+            );
         }
     }
 

@@ -10,9 +10,11 @@
 //! The bitmap compression is word-aligned run-length (WAH-flavoured):
 //! each entry is (number of all-zero 64-bit words skipped, literal word).
 
+use std::sync::Arc;
+
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
 use ffs::Value;
 
@@ -354,17 +356,31 @@ impl StreamOp for BitmapIndexOp {
         self.built.clear();
     }
 
-    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        let idx = BitmapIndex::build(
-            rows.chunks_exact(PARTICLE_WIDTH).map(|r| r[self.column]),
-            self.range.0,
-            self.range.1,
-            self.bins,
-        );
-        vec![Tagged::new(chunk.writer_rank, idx.to_bytes())]
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        struct BitmapMapper {
+            column: usize,
+            bins: usize,
+            range: (f64, f64),
+        }
+        impl ChunkMapper for BitmapMapper {
+            fn map_chunk(&self, chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+                let Some(rows) = particles_of(&chunk.pg) else {
+                    return Vec::new();
+                };
+                let idx = BitmapIndex::build(
+                    rows.chunks_exact(PARTICLE_WIDTH).map(|r| r[self.column]),
+                    self.range.0,
+                    self.range.1,
+                    self.bins,
+                );
+                vec![Tagged::new(chunk.writer_rank, idx.to_bytes())]
+            }
+        }
+        Arc::new(BitmapMapper {
+            column: self.column,
+            bins: self.bins,
+            range: self.range,
+        })
     }
 
     fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {

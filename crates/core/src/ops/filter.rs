@@ -12,11 +12,13 @@
 //! predicate at all — the same characteristics-based pruning the BP
 //! format applies at read time.
 
+use std::sync::Arc;
+
 use ffs::Value;
 
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
 
 /// One predicate clause: attribute `column` must lie in `[lo, hi]`.
@@ -58,24 +60,64 @@ impl FilterOp {
             chunks_total: 0,
         }
     }
+}
 
-    /// Can any row of a chunk with the attached min/max match?
-    fn chunk_may_match(&self, attrs: Option<&ffs::AttrList>) -> bool {
-        let Some(attrs) = attrs else { return true };
-        for c in &self.clauses {
-            let name = PARTICLE_ATTRS[c.column];
-            let (lo, hi) = (
-                attrs.get_f64(&format!("min_{name}")),
-                attrs.get_f64(&format!("max_{name}")),
-            );
-            if let (Some(lo), Some(hi)) = (lo, hi) {
-                if hi < c.lo || lo > c.hi {
-                    return false;
-                }
+/// Can any row of a chunk with the attached min/max match the clauses?
+fn chunk_may_match(clauses: &[RangeClause], attrs: Option<&ffs::AttrList>) -> bool {
+    let Some(attrs) = attrs else { return true };
+    for c in clauses {
+        let name = PARTICLE_ATTRS[c.column];
+        let (lo, hi) = (
+            attrs.get_f64(&format!("min_{name}")),
+            attrs.get_f64(&format!("max_{name}")),
+        );
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            if hi < c.lo || lo > c.hi {
+                return false;
             }
         }
-        true
     }
+    true
+}
+
+/// Per-chunk filtering pass. Emits exactly one item per chunk carrying
+/// `[rows_seen u64][chunk_skipped u64][surviving rows f64…]`; the op's
+/// `combine` absorbs these locally (filtering needs no shuffle), in
+/// canonical chunk order so the surviving-row order is worker-invariant.
+struct FilterMapper {
+    clauses: Vec<RangeClause>,
+}
+
+impl ChunkMapper for FilterMapper {
+    fn map_chunk(&self, chunk: &PackedChunk, ctx: &MapCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            // Non-particle chunks still count toward the chunk totals.
+            return vec![Tagged::new(0, encode_chunk(0, false, &[]))];
+        };
+        let seen = (rows.len() / PARTICLE_WIDTH) as u64;
+        // Characteristics-based chunk pruning from the aggregated attrs.
+        let attrs = ctx.agg.and_then(|a| a.attrs_of(chunk.writer_rank as usize));
+        if !chunk_may_match(&self.clauses, attrs) {
+            return vec![Tagged::new(0, encode_chunk(seen, true, &[]))];
+        }
+        let mut kept = Vec::new();
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            if self.clauses.iter().all(|c| c.matches(row)) {
+                kept.extend_from_slice(row);
+            }
+        }
+        vec![Tagged::new(0, encode_chunk(seen, false, &kept))]
+    }
+}
+
+fn encode_chunk(seen: u64, skipped: bool, kept: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(16 + kept.len() * 8);
+    bytes.extend_from_slice(&seen.to_le_bytes());
+    bytes.extend_from_slice(&(skipped as u64).to_le_bytes());
+    for v in kept {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
 }
 
 impl ComputeSideOp for FilterOp {
@@ -96,22 +138,22 @@ impl StreamOp for FilterOp {
         self.chunks_total = 0;
     }
 
-    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged> {
-        self.chunks_total += 1;
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        self.seen_rows += (rows.len() / PARTICLE_WIDTH) as u64;
-        // Characteristics-based chunk pruning from the aggregated attrs.
-        // (The map keeps survivors local: filtering needs no shuffle.)
-        let attrs = ctx_attrs(ctx, chunk.writer_rank);
-        if !self.chunk_may_match(attrs.as_ref()) {
-            self.chunks_skipped += 1;
-            return Vec::new();
-        }
-        for row in rows.chunks_exact(PARTICLE_WIDTH) {
-            if self.clauses.iter().all(|c| c.matches(row)) {
-                self.kept.extend_from_slice(row);
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        Arc::new(FilterMapper {
+            clauses: self.clauses.clone(),
+        })
+    }
+
+    fn combine(&mut self, items: Vec<Tagged>) -> Vec<Tagged> {
+        // Absorb the per-chunk summaries locally — survivors stay on this
+        // rank; nothing goes through the shuffle.
+        for item in items {
+            self.chunks_total += 1;
+            let b = &item.bytes;
+            self.seen_rows += u64::from_le_bytes(b[..8].try_into().unwrap());
+            self.chunks_skipped += u64::from_le_bytes(b[8..16].try_into().unwrap());
+            for w in b[16..].chunks_exact(8) {
+                self.kept.push(f64::from_le_bytes(w.try_into().unwrap()));
             }
         }
         Vec::new()
@@ -168,13 +210,6 @@ impl StreamOp for FilterOp {
         self.kept = Vec::new();
         result
     }
-}
-
-/// Fetch the aggregated attrs of a writer rank from the step context.
-/// (Thin helper so `map` stays readable.)
-fn ctx_attrs(ctx: &OpCtx, writer_rank: u64) -> Option<ffs::AttrList> {
-    ctx.agg
-        .and_then(|a| a.attrs_of(writer_rank as usize).cloned())
 }
 
 #[cfg(test)]

@@ -11,10 +11,19 @@
 
 use ffs::{AttrList, Value};
 
+use std::sync::Arc;
+
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
+
+fn bin_index(lo: f64, hi: f64, bins: usize, v: f64) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    (((v - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1)
+}
 
 /// Configuration + per-step state of the 1-D histogram operation.
 pub struct HistogramOp {
@@ -28,10 +37,42 @@ pub struct HistogramOp {
     pub combine_enabled: bool,
     /// Global (min, max) per configured column, from `initialize`.
     ranges: Vec<(f64, f64)>,
-    /// Locally-accumulated bins per column (combine state).
-    local: Vec<Vec<u64>>,
     /// Reduced bins for columns this rank owns.
     owned: Vec<(u64, Vec<u64>)>,
+}
+
+/// Per-chunk binning half of [`HistogramOp`]: snapshots the columns,
+/// bin count, and global ranges frozen by `initialize`.
+struct HistogramMapper {
+    columns: Vec<usize>,
+    bins: usize,
+    ranges: Vec<(f64, f64)>,
+}
+
+impl ChunkMapper for HistogramMapper {
+    fn map_chunk(&self, chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        let mut per_chunk = vec![vec![0u64; self.bins]; self.columns.len()];
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            for (i, &c) in self.columns.iter().enumerate() {
+                let (lo, hi) = self.ranges[i];
+                per_chunk[i][bin_index(lo, hi, self.bins, row[c])] += 1;
+            }
+        }
+        per_chunk
+            .into_iter()
+            .enumerate()
+            .map(|(i, bins)| {
+                let mut bytes = Vec::with_capacity(bins.len() * 8);
+                for b in bins {
+                    bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                Tagged::new(self.columns[i] as u64, bytes)
+            })
+            .collect()
+    }
 }
 
 impl HistogramOp {
@@ -44,7 +85,6 @@ impl HistogramOp {
             bins,
             combine_enabled: true,
             ranges: Vec::new(),
-            local: Vec::new(),
             owned: Vec::new(),
         }
     }
@@ -57,27 +97,15 @@ impl HistogramOp {
         op
     }
 
-    fn bins_to_tagged(&self, out: &mut Vec<Tagged>, source: &[Vec<u64>]) {
-        for (i, bins) in source.iter().enumerate() {
-            let mut bytes = Vec::with_capacity(bins.len() * 8);
-            for &b in bins {
-                bytes.extend_from_slice(&b.to_le_bytes());
-            }
-            out.push(Tagged::new(self.columns[i] as u64, bytes));
-        }
-    }
-
     /// All eight particle attributes.
     pub fn all_attrs(bins: usize) -> Self {
         Self::new((0..PARTICLE_WIDTH).collect(), bins)
     }
 
+    #[cfg(test)]
     fn bin_of(&self, col_idx: usize, v: f64) -> usize {
         let (lo, hi) = self.ranges[col_idx];
-        if hi <= lo {
-            return 0;
-        }
-        (((v - lo) / (hi - lo) * self.bins as f64) as usize).min(self.bins - 1)
+        bin_index(lo, hi, self.bins, v)
     }
 }
 
@@ -121,46 +149,46 @@ impl StreamOp for HistogramOp {
                 (lo, hi)
             })
             .collect();
-        self.local = vec![vec![0; self.bins]; self.columns.len()];
         self.owned.clear();
     }
 
-    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        let mut per_chunk = if self.combine_enabled {
-            Vec::new()
-        } else {
-            vec![vec![0u64; self.bins]; self.columns.len()]
-        };
-        for row in rows.chunks_exact(PARTICLE_WIDTH) {
-            for (i, &c) in self.columns.iter().enumerate() {
-                let b = self.bin_of(i, row[c]);
-                if self.combine_enabled {
-                    self.local[i][b] += 1;
-                } else {
-                    per_chunk[i][b] += 1;
-                }
-            }
-        }
-        // With combining, bins accumulate across chunks and are emitted
-        // once in combine(); without it, each chunk ships its own bins.
-        let mut out = Vec::new();
-        if !self.combine_enabled {
-            self.bins_to_tagged(&mut out, &per_chunk);
-        }
-        out
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        Arc::new(HistogramMapper {
+            columns: self.columns.clone(),
+            bins: self.bins,
+            ranges: self.ranges.clone(),
+        })
     }
 
-    fn combine(&mut self, mut items: Vec<Tagged>) -> Vec<Tagged> {
-        if self.combine_enabled {
-            // Emit one item per column carrying this rank's combined bins.
-            let local = std::mem::take(&mut self.local);
-            self.bins_to_tagged(&mut items, &local);
-            self.local = local;
+    fn combine(&mut self, items: Vec<Tagged>) -> Vec<Tagged> {
+        if !self.combine_enabled {
+            // Ablation baseline: ship per-chunk bins through the shuffle.
+            return items;
         }
-        items
+        // Sum per-chunk bins into one item per column (u64 addition is
+        // order-independent, so this is deterministic regardless of how
+        // the per-chunk outputs were produced).
+        let mut sums = vec![vec![0u64; self.bins]; self.columns.len()];
+        for item in items {
+            let idx = self
+                .columns
+                .iter()
+                .position(|&c| c as u64 == item.tag)
+                .expect("tag is a configured column");
+            for (i, w) in item.bytes.chunks_exact(8).enumerate() {
+                sums[idx][i] += u64::from_le_bytes(w.try_into().unwrap());
+            }
+        }
+        sums.into_iter()
+            .enumerate()
+            .map(|(i, bins)| {
+                let mut bytes = Vec::with_capacity(bins.len() * 8);
+                for b in bins {
+                    bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                Tagged::new(self.columns[i] as u64, bytes)
+            })
+            .collect()
     }
 
     fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
@@ -208,7 +236,6 @@ impl StreamOp for HistogramOp {
                 }
             }
         }
-        self.local.clear();
         result
     }
 }

@@ -6,11 +6,13 @@
 //! binning math, which is why the paper reports higher compute times
 //! (Fig. 7c/f) and stores roughly 4× more result bytes.
 
+use std::sync::Arc;
+
 use ffs::Value;
 
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use crate::ops::histogram::attach_particle_stats;
 use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
 
@@ -21,7 +23,6 @@ pub struct Histogram2dOp {
     /// Bins per axis (total bins per pair = bins²).
     pub bins: usize,
     ranges: Vec<((f64, f64), (f64, f64))>,
-    local: Vec<Vec<u64>>,
     owned: Vec<(u64, Vec<u64>)>,
 }
 
@@ -35,16 +36,51 @@ impl Histogram2dOp {
             pairs,
             bins,
             ranges: Vec::new(),
-            local: Vec::new(),
             owned: Vec::new(),
         }
     }
+}
 
-    fn axis_bin(&self, (lo, hi): (f64, f64), v: f64) -> usize {
-        if hi <= lo {
-            return 0;
+fn axis_bin((lo, hi): (f64, f64), bins: usize, v: f64) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    (((v - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1)
+}
+
+/// Per-chunk 2-D binning half of [`Histogram2dOp`]: snapshots the pairs,
+/// per-axis bin count, and global ranges frozen by `initialize`.
+struct Histogram2dMapper {
+    pairs: Vec<(usize, usize)>,
+    bins: usize,
+    ranges: Vec<((f64, f64), (f64, f64))>,
+}
+
+impl ChunkMapper for Histogram2dMapper {
+    fn map_chunk(&self, chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        let mut per_chunk = vec![vec![0u64; self.bins * self.bins]; self.pairs.len()];
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            for (i, &(ca, cb)) in self.pairs.iter().enumerate() {
+                let (ra, rb) = self.ranges[i];
+                let ba = axis_bin(ra, self.bins, row[ca]);
+                let bb = axis_bin(rb, self.bins, row[cb]);
+                per_chunk[i][ba * self.bins + bb] += 1;
+            }
         }
-        (((v - lo) / (hi - lo) * self.bins as f64) as usize).min(self.bins - 1)
+        per_chunk
+            .into_iter()
+            .enumerate()
+            .map(|(i, bins)| {
+                let mut bytes = Vec::with_capacity(bins.len() * 8);
+                for b in bins {
+                    bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                Tagged::new(i as u64, bytes)
+            })
+            .collect()
     }
 }
 
@@ -72,34 +108,37 @@ impl StreamOp for Histogram2dOp {
             .iter()
             .map(|&(a, b)| (range(a), range(b)))
             .collect();
-        self.local = vec![vec![0; self.bins * self.bins]; self.pairs.len()];
         self.owned.clear();
     }
 
-    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        for row in rows.chunks_exact(PARTICLE_WIDTH) {
-            for (i, &(ca, cb)) in self.pairs.iter().enumerate() {
-                let (ra, rb) = self.ranges[i];
-                let ba = self.axis_bin(ra, row[ca]);
-                let bb = self.axis_bin(rb, row[cb]);
-                self.local[i][ba * self.bins + bb] += 1;
-            }
-        }
-        Vec::new()
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        Arc::new(Histogram2dMapper {
+            pairs: self.pairs.clone(),
+            bins: self.bins,
+            ranges: self.ranges.clone(),
+        })
     }
 
-    fn combine(&mut self, mut items: Vec<Tagged>) -> Vec<Tagged> {
-        for (i, bins) in self.local.iter().enumerate() {
-            let mut bytes = Vec::with_capacity(bins.len() * 8);
-            for &b in bins {
-                bytes.extend_from_slice(&b.to_le_bytes());
+    fn combine(&mut self, items: Vec<Tagged>) -> Vec<Tagged> {
+        // Sum per-chunk bins into one item per pair (order-independent
+        // u64 addition).
+        let mut sums = vec![vec![0u64; self.bins * self.bins]; self.pairs.len()];
+        for item in items {
+            let bins = &mut sums[item.tag as usize];
+            for (i, w) in item.bytes.chunks_exact(8).enumerate() {
+                bins[i] += u64::from_le_bytes(w.try_into().unwrap());
             }
-            items.push(Tagged::new(i as u64, bytes));
         }
-        items
+        sums.into_iter()
+            .enumerate()
+            .map(|(i, bins)| {
+                let mut bytes = Vec::with_capacity(bins.len() * 8);
+                for b in bins {
+                    bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                Tagged::new(i as u64, bytes)
+            })
+            .collect()
     }
 
     fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
@@ -149,7 +188,6 @@ impl StreamOp for Histogram2dOp {
                 }
             }
         }
-        self.local.clear();
         result
     }
 }

@@ -10,11 +10,13 @@
 //! (Chan/Golub/LeVeque) so chunk-at-a-time accumulation and the
 //! cross-rank reduce are both well-conditioned.
 
+use std::sync::Arc;
+
 use ffs::Value;
 
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use crate::schema::{particles_of, PARTICLE_ATTRS, PARTICLE_WIDTH};
 
 /// Partial moment state: count, mean, and 2nd/3rd central sums.
@@ -102,8 +104,34 @@ impl MomentState {
 /// column, reduced across the pipeline.
 pub struct MomentsOp {
     pub columns: Vec<usize>,
-    local: Vec<MomentState>,
     owned: Vec<(u64, MomentState)>,
+}
+
+/// Per-chunk Welford pass: one [`MomentState`] per configured column,
+/// emitted as one tagged item per column. The op's `combine` merges the
+/// per-chunk states in canonical chunk order, so results don't depend on
+/// how many workers produced them.
+struct MomentsMapper {
+    columns: Vec<usize>,
+}
+
+impl ChunkMapper for MomentsMapper {
+    fn map_chunk(&self, chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        let mut states = vec![MomentState::default(); self.columns.len()];
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            for (i, &c) in self.columns.iter().enumerate() {
+                states[i].push(row[c]);
+            }
+        }
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| Tagged::new(self.columns[i] as u64, st.to_bytes()))
+            .collect()
+    }
 }
 
 impl MomentsOp {
@@ -112,7 +140,6 @@ impl MomentsOp {
         assert!(columns.iter().all(|&c| c < PARTICLE_WIDTH));
         MomentsOp {
             columns,
-            local: Vec::new(),
             owned: Vec::new(),
         }
     }
@@ -137,27 +164,33 @@ impl StreamOp for MomentsOp {
     }
 
     fn initialize(&mut self, _agg: &Aggregates, _ctx: &OpCtx) {
-        self.local = vec![MomentState::default(); self.columns.len()];
         self.owned.clear();
     }
 
-    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        for row in rows.chunks_exact(PARTICLE_WIDTH) {
-            for (i, &c) in self.columns.iter().enumerate() {
-                self.local[i].push(row[c]);
-            }
-        }
-        Vec::new()
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        Arc::new(MomentsMapper {
+            columns: self.columns.clone(),
+        })
     }
 
-    fn combine(&mut self, mut items: Vec<Tagged>) -> Vec<Tagged> {
-        for (i, st) in self.local.iter().enumerate() {
-            items.push(Tagged::new(self.columns[i] as u64, st.to_bytes()));
+    fn combine(&mut self, items: Vec<Tagged>) -> Vec<Tagged> {
+        // Merge per-chunk states in item (= canonical chunk) order: the
+        // single place floating-point accumulation order is fixed.
+        let mut acc = vec![MomentState::default(); self.columns.len()];
+        for item in items {
+            let idx = self
+                .columns
+                .iter()
+                .position(|&c| c as u64 == item.tag)
+                .expect("tag is a configured column");
+            if let Some(st) = MomentState::from_bytes(&item.bytes) {
+                acc[idx] = MomentState::merge(acc[idx], st);
+            }
         }
-        items
+        acc.into_iter()
+            .enumerate()
+            .map(|(i, st)| Tagged::new(self.columns[i] as u64, st.to_bytes()))
+            .collect()
     }
 
     fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
@@ -186,7 +219,6 @@ impl StreamOp for MomentsOp {
                 .values
                 .set(format!("skew_{name}"), Value::F64(st.skewness()));
         }
-        self.local.clear();
         result
     }
 }

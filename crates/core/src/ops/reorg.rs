@@ -9,12 +9,14 @@
 //! slab owner, `reduce` copies pieces into contiguous slab buffers, and
 //! `finalize` writes each slab as one large contiguous extent ("merged").
 
+use std::sync::Arc;
+
 use bpio::{copy_box, linear_len, DataArray, Dtype};
 use ffs::Value;
 
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 
 /// Merge the named 3-D global variables into per-rank contiguous slabs.
 pub struct ReorgOp {
@@ -100,40 +102,52 @@ impl StreamOp for ReorgOp {
             .collect();
     }
 
-    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged> {
-        let n_ranks = ctx.n_ranks();
-        let mut out = Vec::new();
-        for (vi, var) in self.vars.iter().enumerate() {
-            let Some(v) = chunk.pg.var(var) else { continue };
-            let Some(data) = v.data.as_f64() else {
-                continue;
-            };
-            if v.global.len() != 3 {
-                continue;
-            }
-            // Split the chunk along dim 0 by destination slab.
-            let (o, l) = (&v.offset, &v.local);
-            let mut d0 = o[0];
-            while d0 < o[0] + l[0] {
-                let dest = Self::slab_of(d0, n_ranks, self.global[0]);
-                let (_, slab_hi) = Self::slab_range(dest, n_ranks, self.global[0]);
-                let hi = (o[0] + l[0]).min(slab_hi);
-                // Rows d0..hi of the chunk go to `dest` as one piece.
-                let rows_per_d0 = (l[1] * l[2]) as usize;
-                let start = ((d0 - o[0]) as usize) * rows_per_d0;
-                let end = ((hi - o[0]) as usize) * rows_per_d0;
-                let mut bytes = Vec::with_capacity(8 * 7 + (end - start) * 8);
-                for v in [vi as u64, d0, o[1], o[2], hi - d0, l[1], l[2]] {
-                    bytes.extend_from_slice(&v.to_le_bytes());
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        struct ReorgMapper {
+            vars: Vec<String>,
+            global: Vec<u64>,
+        }
+        impl ChunkMapper for ReorgMapper {
+            fn map_chunk(&self, chunk: &PackedChunk, ctx: &MapCtx) -> Vec<Tagged> {
+                let n_ranks = ctx.n_ranks();
+                let mut out = Vec::new();
+                for (vi, var) in self.vars.iter().enumerate() {
+                    let Some(v) = chunk.pg.var(var) else { continue };
+                    let Some(data) = v.data.as_f64() else {
+                        continue;
+                    };
+                    if v.global.len() != 3 {
+                        continue;
+                    }
+                    // Split the chunk along dim 0 by destination slab.
+                    let (o, l) = (&v.offset, &v.local);
+                    let mut d0 = o[0];
+                    while d0 < o[0] + l[0] {
+                        let dest = ReorgOp::slab_of(d0, n_ranks, self.global[0]);
+                        let (_, slab_hi) = ReorgOp::slab_range(dest, n_ranks, self.global[0]);
+                        let hi = (o[0] + l[0]).min(slab_hi);
+                        // Rows d0..hi of the chunk go to `dest` as one piece.
+                        let rows_per_d0 = (l[1] * l[2]) as usize;
+                        let start = ((d0 - o[0]) as usize) * rows_per_d0;
+                        let end = ((hi - o[0]) as usize) * rows_per_d0;
+                        let mut bytes = Vec::with_capacity(8 * 7 + (end - start) * 8);
+                        for v in [vi as u64, d0, o[1], o[2], hi - d0, l[1], l[2]] {
+                            bytes.extend_from_slice(&v.to_le_bytes());
+                        }
+                        for x in &data[start..end] {
+                            bytes.extend_from_slice(&x.to_le_bytes());
+                        }
+                        out.push(Tagged::new(dest as u64, bytes));
+                        d0 = hi;
+                    }
                 }
-                for x in &data[start..end] {
-                    bytes.extend_from_slice(&x.to_le_bytes());
-                }
-                out.push(Tagged::new(dest as u64, bytes));
-                d0 = hi;
+                out
             }
         }
-        out
+        Arc::new(ReorgMapper {
+            vars: self.vars.clone(),
+            global: self.global.clone(),
+        })
     }
 
     /// Tags are destination ranks directly.

@@ -13,11 +13,13 @@
 //! allgather of bucket sizes) and writes each rank's slice of the global
 //! sorted array as one contiguous BP chunk.
 
+use std::sync::Arc;
+
 use ffs::Value;
 
 use crate::agg::Aggregates;
 use crate::chunk::PackedChunk;
-use crate::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use crate::schema::{particle_key, particles_of, PARTICLE_WIDTH};
 
 /// Global sort of particle rows by label key.
@@ -41,10 +43,43 @@ impl SortOp {
 
     /// Bucket (pipeline rank) for a sort key: equal key-range split over
     /// the `(rank << 32)` key space.
+    #[cfg(test)]
     fn bucket(&self, key: u64, n_ranks: usize) -> usize {
-        let key_max = self.n_compute_hint << 32;
-        ((key.min(key_max - 1) as u128 * n_ranks as u128 / key_max as u128) as usize)
-            .min(n_ranks - 1)
+        bucket_of(key, self.n_compute_hint, n_ranks)
+    }
+}
+
+fn bucket_of(key: u64, n_compute_hint: u64, n_ranks: usize) -> usize {
+    let key_max = n_compute_hint << 32;
+    ((key.min(key_max - 1) as u128 * n_ranks as u128 / key_max as u128) as usize).min(n_ranks - 1)
+}
+
+/// Per-chunk range-partitioning half of [`SortOp`]: snapshots the
+/// key-space bound frozen by `initialize`.
+struct SortMapper {
+    n_compute_hint: u64,
+}
+
+impl ChunkMapper for SortMapper {
+    fn map_chunk(&self, chunk: &PackedChunk, ctx: &MapCtx) -> Vec<Tagged> {
+        let Some(rows) = particles_of(&chunk.pg) else {
+            return Vec::new();
+        };
+        let n_ranks = ctx.n_ranks();
+        // One bucket per destination rank; rows appended as raw f64 LE.
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); n_ranks];
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            let b = bucket_of(particle_key(row), self.n_compute_hint, n_ranks);
+            for v in row {
+                buckets[b].extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| Tagged::new(i as u64, b))
+            .collect()
     }
 }
 
@@ -73,25 +108,10 @@ impl StreamOp for SortOp {
         self.sorted.clear();
     }
 
-    fn map(&mut self, chunk: &PackedChunk, ctx: &OpCtx) -> Vec<Tagged> {
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        let n_ranks = ctx.n_ranks();
-        // One bucket per destination rank; rows appended as raw f64 LE.
-        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); n_ranks];
-        for row in rows.chunks_exact(PARTICLE_WIDTH) {
-            let b = self.bucket(particle_key(row), n_ranks);
-            for v in row {
-                buckets[b].extend_from_slice(&v.to_le_bytes());
-            }
-        }
-        buckets
-            .into_iter()
-            .enumerate()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(i, b)| Tagged::new(i as u64, b))
-            .collect()
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        Arc::new(SortMapper {
+            n_compute_hint: self.n_compute_hint,
+        })
     }
 
     /// Tags are destination ranks directly.

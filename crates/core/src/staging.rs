@@ -8,17 +8,50 @@
 //! 1. gathers the fetch requests of the compute ranks it serves,
 //! 2. builds global [`Aggregates`] with one small staging-wide exchange,
 //! 3. `initialize`s every operator,
-//! 4. pulls chunks in the order/pacing of its [`transport::PullPolicy`],
-//!    feeding each decoded chunk through every operator's `map` and
-//!    dropping it — single-pass streaming under a bounded memory
-//!    footprint,
+//! 4. pulls chunks in the order/pacing of its [`transport::PullPolicy`]
+//!    and fans them out to a pool of decode+map workers,
 //! 5. completes each operator's combine → shuffle → reduce → finalize.
+//!
+//! # The pull → decode → map pipeline (stage 4)
+//!
+//! Each staging process runs "multiple threads that exploit concurrency
+//! in different parts of the execution flow" (paper §IV-C). Stage 4 is a
+//! three-role pipeline over two event queues:
+//!
+//! ```text
+//!  puller ──(idx, src, bytes)──▶ bounded ──▶ decode+map ──┐
+//!    │  policy order + pacing     work         worker 0   │
+//!    ▼  RDMA get                  queue           ⋮       ├──▶ unbounded ──▶ collector
+//!                                   └───────▶ worker N-1 ─┘     results        │
+//!                                   unpack → map_chunk×ops       queue    slots[idx] = out
+//! ```
+//!
+//! The *puller* issues RDMA gets serially in policy order and blocks on
+//! the bounded work queue — its capacity (`max_inflight`) is the
+//! back-pressure bound on pulled-but-unmapped bytes, so the streaming
+//! memory footprint stays at a few chunks no matter how fast the network
+//! outruns the operators. Each *worker* unpacks a chunk (a zero-copy
+//! borrow of the pull buffer via [`ffs::decode_view`]) and runs every
+//! operator's [`crate::op::ChunkMapper`] on it. The *collector* (the
+//! `run_step` thread) files each worker's output into a slot indexed by
+//! the chunk's position in the policy order, then merges slots **in
+//! index order** — so the per-operator intermediate streams, and
+//! therefore every downstream combine/shuffle/reduce result, are
+//! bit-identical regardless of worker count or completion interleaving.
+//!
+//! All waiting is condvar-based (queue parking, [`PullPolicy::wait_ready`]);
+//! there are no sleep-poll loops in this pipeline.
+//!
+//! The worker count is the `PREDATA_MAP_WORKERS` environment variable
+//! (default 4, minimum 1; see [`map_workers`]) — the ablation knob for
+//! the decode+map scaling experiments.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use transport::evq::EventQueue;
+use transport::evq::{EventQueue, PollError};
 
 use ffs::AttrList;
 use minimpi::{Comm, World};
@@ -26,7 +59,7 @@ use transport::{FetchRequest, PullPolicy, Router, StagingEndpoint, TransportErro
 
 use crate::agg::Aggregates;
 use crate::chunk::{ChunkError, PackedChunk};
-use crate::op::{complete_pipeline, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{complete_pipeline, ChunkMapper, OpCtx, OpResult, StreamOp, Tagged};
 
 /// Staging-side failures.
 #[derive(Debug)]
@@ -39,6 +72,9 @@ pub enum StagingError {
         expected: u64,
         got: u64,
     },
+    /// Filesystem setup failed (e.g. the output directory could not be
+    /// created).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for StagingError {
@@ -49,6 +85,7 @@ impl std::fmt::Display for StagingError {
             StagingError::StepSkew { expected, got } => {
                 write!(f, "request step skew: gathering step {expected}, got {got}")
             }
+            StagingError::Io(e) => write!(f, "staging io: {e}"),
         }
     }
 }
@@ -66,6 +103,40 @@ impl From<ChunkError> for StagingError {
         StagingError::Chunk(e)
     }
 }
+
+impl From<std::io::Error> for StagingError {
+    fn from(e: std::io::Error) -> Self {
+        StagingError::Io(e)
+    }
+}
+
+/// Decode+map worker threads per staging rank: the `PREDATA_MAP_WORKERS`
+/// environment variable, defaulting to 4 and clamped to at least 1.
+pub fn map_workers() -> usize {
+    std::env::var("PREDATA_MAP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(4)
+}
+
+/// One finished (or failed) unit of pipeline work, filed by the slot
+/// index the chunk holds in the policy-ordered pull list.
+enum WorkerOut {
+    Mapped {
+        idx: usize,
+        src_rank: usize,
+        bytes: u64,
+        /// `map_chunk` output of every operator, in operator order.
+        per_op: Vec<Vec<Tagged>>,
+    },
+    DecodeErr(ChunkError),
+    PullErr(TransportError),
+}
+
+/// A collected chunk's contribution: source rank, pulled bytes, per-op
+/// mapper output.
+type ChunkSlot = (usize, u64, Vec<Vec<Tagged>>);
 
 /// Static configuration of the staging area.
 #[derive(Clone)]
@@ -115,6 +186,11 @@ pub struct StagingRank {
 }
 
 impl StagingRank {
+    /// Create one staging rank, creating `cfg.out_dir` if needed.
+    ///
+    /// Fails with [`StagingError::Io`] when the output directory cannot
+    /// be created — a misconfigured path must surface at startup, not as
+    /// mysterious per-step write failures later.
     pub fn new(
         comm: Comm,
         endpoint: StagingEndpoint,
@@ -122,9 +198,9 @@ impl StagingRank {
         policy: Box<dyn PullPolicy>,
         ops: Vec<Box<dyn StreamOp>>,
         cfg: StagingConfig,
-    ) -> Self {
-        std::fs::create_dir_all(&cfg.out_dir).ok();
-        StagingRank {
+    ) -> Result<Self, StagingError> {
+        std::fs::create_dir_all(&cfg.out_dir)?;
+        Ok(StagingRank {
             comm,
             endpoint,
             router,
@@ -132,7 +208,7 @@ impl StagingRank {
             ops,
             cfg,
             stashed: Vec::new(),
-        }
+        })
     }
 
     pub fn rank(&self) -> usize {
@@ -187,102 +263,156 @@ impl StagingRank {
             op.initialize(&agg, &ctx);
         }
 
-        // --- Stage 3 + 4a: scheduled pulls, streaming map ---
+        // --- Stage 3 + 4a: scheduled pulls, parallel decode+map ---
         //
-        // Each staging process runs "multiple threads that exploit
-        // concurrency in different parts of the execution flow" (§IV-C):
-        // a puller thread issues the scheduled RDMA gets and feeds a
-        // *bounded* event queue (back-pressure keeps the streaming memory
-        // footprint at a few chunks), while this thread decodes chunks
-        // and drives every operator's map.
+        // See the module docs for the pipeline picture: one puller feeds
+        // a bounded work queue (back-pressure bounds the streaming memory
+        // footprint at a few chunks), `map_workers()` workers decode and
+        // run every operator's mapper, and this thread collects their
+        // outputs into position-indexed slots for a deterministic merge.
         self.policy.order(&mut pending);
+        let n_chunks = pending.len();
         let mut mapped: Vec<Vec<Tagged>> = (0..self.ops.len()).map(|_| Vec::new()).collect();
         let mut bytes_pulled = 0u64;
-        let mut pull_order = Vec::with_capacity(pending.len());
-        let n_chunks = pending.len();
-        type PullItem = Result<(usize, Arc<[u8]>), TransportError>;
-        let queue: EventQueue<PullItem> = EventQueue::bounded(self.policy.max_inflight().max(1));
-        let mut pull_err = None;
-        // Raised by the consumer if it gives up (timeout); the puller
-        // checks it instead of blocking forever on the full queue.
-        let cancelled = std::sync::atomic::AtomicBool::new(false);
-        std::thread::scope(|scope| -> Result<(), StagingError> {
-            let endpoint = &self.endpoint;
-            let policy = &self.policy;
-            let tx = &queue;
-            let cancelled = &cancelled;
-            scope.spawn(move || {
-                'pulls: for req in &pending {
-                    while policy.should_defer() {
-                        if cancelled.load(std::sync::atomic::Ordering::Acquire) {
-                            return;
+        let mut pull_order = Vec::with_capacity(n_chunks);
+        let mut pull_err: Option<TransportError> = None;
+        let mut decode_err: Option<StagingError> = None;
+        if n_chunks > 0 {
+            // Map state frozen by `initialize`, shareable across workers.
+            let mappers: Vec<Arc<dyn ChunkMapper>> =
+                self.ops.iter().map(|op| op.mapper()).collect();
+            let map_ctx = ctx.map_ctx();
+            let n_workers = map_workers().min(n_chunks);
+            // slots[i] belongs to pending[i]; filled in completion order,
+            // merged in index order.
+            let mut slots: Vec<Option<ChunkSlot>> = (0..n_chunks).map(|_| None).collect();
+            let work: EventQueue<(usize, usize, Arc<[u8]>)> =
+                EventQueue::bounded(self.policy.max_inflight().max(1));
+            let results: EventQueue<WorkerOut> = EventQueue::unbounded();
+            // Raised when this thread abandons the step (timeout or
+            // error); parked threads are woken by closing `work`.
+            let cancelled = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let endpoint = &self.endpoint;
+                let policy = &self.policy;
+                let gather_timeout = self.cfg.gather_timeout;
+                let (work, results) = (&work, &results);
+                let (cancelled, mappers, pending) = (&cancelled, &mappers, &pending);
+                // Puller: RDMA gets, serially, in policy order and pacing.
+                scope.spawn(move || {
+                    for (idx, req) in pending.iter().enumerate() {
+                        // Condvar/deadline park inside the policy; the
+                        // short tick only bounds cancellation latency.
+                        while !policy.wait_ready(Duration::from_millis(25)) {
+                            if cancelled.load(Ordering::Acquire) {
+                                return;
+                            }
                         }
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    let res = endpoint.rdma_get(req).map(|buf| (req.src_rank, buf));
-                    let failed = res.is_err();
-                    // Never block indefinitely on the bounded queue: the
-                    // consumer may have abandoned the step.
-                    let mut item = res;
-                    loop {
-                        match tx.try_submit(item) {
-                            Ok(()) => break,
-                            Err(transport::evq::SubmitError::Full(v)) => {
-                                if cancelled.load(std::sync::atomic::Ordering::Acquire) {
+                        match endpoint.rdma_get(req) {
+                            // Blocking send parks under back-pressure and
+                            // wakes with `Closed` if the step is abandoned.
+                            Ok(buf) => {
+                                if work.send((idx, req.src_rank, buf)).is_err() {
                                     return;
                                 }
-                                item = v;
-                                std::thread::sleep(Duration::from_micros(100));
                             }
-                            Err(transport::evq::SubmitError::Closed(_)) => return,
+                            Err(e) => {
+                                results.submit(WorkerOut::PullErr(e));
+                                return;
+                            }
                         }
                     }
-                    if failed {
-                        break 'pulls;
-                    }
-                }
-            });
-            let mut decode_err: Option<StagingError> = None;
-            for _ in 0..n_chunks {
-                let Some(item) = queue.poll(self.cfg.gather_timeout) else {
-                    pull_err = Some(TransportError::Timeout);
-                    cancelled.store(true, std::sync::atomic::Ordering::Release);
-                    break;
-                };
-                match item {
-                    // After a decode failure, keep draining the queue so
-                    // the puller never blocks on the bounded channel; the
-                    // payloads are dropped unprocessed.
-                    Ok(_) if decode_err.is_some() => {}
-                    Ok((src_rank, buf)) => {
-                        bytes_pulled += buf.len() as u64;
-                        pull_order.push(src_rank);
-                        match PackedChunk::unpack(&buf) {
-                            Ok(chunk) => {
-                                drop(buf); // single-pass: bytes released before the next map
-                                for (i, op) in self.ops.iter_mut().enumerate() {
-                                    mapped[i].extend(op.map(&chunk, &ctx));
+                    // All pulls issued: workers drain the queue, then exit.
+                    work.close();
+                });
+                // Decode+map workers.
+                for _ in 0..n_workers {
+                    scope.spawn(move || {
+                        loop {
+                            match work.recv(gather_timeout) {
+                                Ok((idx, src_rank, buf)) => {
+                                    if cancelled.load(Ordering::Acquire) {
+                                        continue; // abandoned: discard undecoded
+                                    }
+                                    let out = match PackedChunk::unpack(&buf) {
+                                        Ok(chunk) => {
+                                            let bytes = buf.len() as u64;
+                                            drop(buf); // chunk owns its data now
+                                            let per_op = mappers
+                                                .iter()
+                                                .map(|m| m.map_chunk(&chunk, &map_ctx))
+                                                .collect();
+                                            WorkerOut::Mapped {
+                                                idx,
+                                                src_rank,
+                                                bytes,
+                                                per_op,
+                                            }
+                                        }
+                                        Err(e) => WorkerOut::DecodeErr(e),
+                                    };
+                                    results.submit(out);
                                 }
-                                // `chunk` dropped here — streaming memory bound.
+                                Err(PollError::Closed) => return,
+                                Err(PollError::Timeout) => {
+                                    if cancelled.load(Ordering::Acquire) {
+                                        return;
+                                    }
+                                }
                             }
-                            Err(e) => decode_err = Some(e.into()),
+                        }
+                    });
+                }
+                // Collector: exactly one message arrives per chunk unless
+                // a role fails; the first failure abandons the step.
+                let mut filled = 0usize;
+                while filled < n_chunks {
+                    match results.poll(gather_timeout) {
+                        None => {
+                            pull_err = Some(TransportError::Timeout);
+                            break;
+                        }
+                        Some(WorkerOut::Mapped {
+                            idx,
+                            src_rank,
+                            bytes,
+                            per_op,
+                        }) => {
+                            slots[idx] = Some((src_rank, bytes, per_op));
+                            filled += 1;
+                        }
+                        Some(WorkerOut::DecodeErr(e)) => {
+                            decode_err = Some(StagingError::Chunk(e));
+                            break;
+                        }
+                        Some(WorkerOut::PullErr(e)) => {
+                            pull_err = Some(e);
+                            break;
                         }
                     }
-                    Err(e) => {
-                        // The puller stops after its first error; nothing
-                        // more will arrive.
-                        pull_err = Some(e);
-                        break;
-                    }
+                }
+                // Wake anything still parked so the scope can join. On
+                // the success path both are no-ops.
+                cancelled.store(true, Ordering::Release);
+                work.close();
+            });
+            if let Some(e) = decode_err {
+                return Err(e);
+            }
+            if let Some(e) = pull_err {
+                return Err(StagingError::Transport(e));
+            }
+            // Deterministic merge: slot order == policy order, so the
+            // concatenated per-operator streams (and everything downstream
+            // of combine) are identical for every worker count.
+            for slot in slots {
+                let (src_rank, bytes, per_op) = slot.expect("every slot reported");
+                pull_order.push(src_rank);
+                bytes_pulled += bytes;
+                for (i, items) in per_op.into_iter().enumerate() {
+                    mapped[i].extend(items);
                 }
             }
-            match decode_err {
-                Some(e) => Err(e),
-                None => Ok(()),
-            }
-        })?;
-        if let Some(e) = pull_err {
-            return Err(StagingError::Transport(e));
         }
 
         // --- Stage 4b: combine / shuffle / reduce / finalize per op ---
@@ -338,7 +468,7 @@ impl StagingArea {
                     .spawn(move || {
                         let rank = comm.rank();
                         let mut sr =
-                            StagingRank::new(comm, endpoint, router, policy(rank), ops(rank), cfg);
+                            StagingRank::new(comm, endpoint, router, policy(rank), ops(rank), cfg)?;
                         (0..n_steps).map(|s| sr.run_step(s)).collect()
                     })
                     .expect("spawn staging thread")

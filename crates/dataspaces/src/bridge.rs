@@ -16,7 +16,7 @@ use bpio::DataArray;
 use ffs::Value;
 use predata_core::agg::Aggregates;
 use predata_core::chunk::PackedChunk;
-use predata_core::op::{ComputeSideOp, OpCtx, OpResult, StreamOp, Tagged};
+use predata_core::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 use predata_core::schema::{particles_of, COL_ID, COL_RANK, PARTICLE_WIDTH};
 
 use crate::domain::Region;
@@ -66,31 +66,54 @@ impl StreamOp for SpaceIndexOp {
         self.cells_put = 0;
     }
 
-    fn map(&mut self, chunk: &PackedChunk, _ctx: &OpCtx) -> Vec<Tagged> {
-        let Some(rows) = particles_of(&chunk.pg) else {
-            return Vec::new();
-        };
-        let dom = &self.space.config().domain;
-        for row in rows.chunks_exact(PARTICLE_WIDTH) {
-            let id = row[COL_ID] as u64;
-            let rank = row[COL_RANK] as u64;
-            if id >= dom[0] || rank >= dom[1] {
-                continue; // outside the declared label domain
+    fn mapper(&self) -> Arc<dyn ChunkMapper> {
+        struct SpaceIndexMapper {
+            space: Arc<DataSpaces>,
+            column: usize,
+            var: String,
+        }
+        impl ChunkMapper for SpaceIndexMapper {
+            fn map_chunk(&self, chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+                let Some(rows) = particles_of(&chunk.pg) else {
+                    return Vec::new();
+                };
+                let dom = &self.space.config().domain;
+                let mut cells_put = 0u64;
+                for row in rows.chunks_exact(PARTICLE_WIDTH) {
+                    let id = row[COL_ID] as u64;
+                    let rank = row[COL_RANK] as u64;
+                    if id >= dom[0] || rank >= dom[1] {
+                        continue; // outside the declared label domain
+                    }
+                    let region = Region::new(vec![id, rank], vec![1, 1]);
+                    // Put errors here mean a mis-sized domain; surface
+                    // loudly in debug, skip in release (the space records
+                    // the incomplete coverage and queries report holes).
+                    let r = self.space.put(
+                        &self.var,
+                        chunk.step,
+                        &region,
+                        DataArray::F64(vec![row[self.column]]),
+                    );
+                    debug_assert!(r.is_ok(), "space put failed: {r:?}");
+                    if r.is_ok() {
+                        cells_put += 1;
+                    }
+                }
+                // One summary item per chunk; combine() folds the counts.
+                vec![Tagged::new(0, cells_put.to_le_bytes().to_vec())]
             }
-            let region = Region::new(vec![id, rank], vec![1, 1]);
-            // Put errors here mean a mis-sized domain; surface loudly in
-            // debug, skip in release (the space records the incomplete
-            // coverage and queries will report holes).
-            let r = self.space.put(
-                &self.var,
-                chunk.step,
-                &region,
-                DataArray::F64(vec![row[self.column]]),
-            );
-            debug_assert!(r.is_ok(), "space put failed: {r:?}");
-            if r.is_ok() {
-                self.cells_put += 1;
-            }
+        }
+        Arc::new(SpaceIndexMapper {
+            space: Arc::clone(&self.space),
+            column: self.column,
+            var: self.var.clone(),
+        })
+    }
+
+    fn combine(&mut self, items: Vec<Tagged>) -> Vec<Tagged> {
+        for item in items {
+            self.cells_put += u64::from_le_bytes(item.bytes[..8].try_into().unwrap());
         }
         Vec::new()
     }

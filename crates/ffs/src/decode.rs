@@ -100,6 +100,201 @@ pub fn decode(buf: &[u8], registry: Option<&FormatRegistry>) -> Result<Record> {
     Ok(Record::from_decoded(format, values, attrs))
 }
 
+/// One field of a [`RecordView`]: scalars are decoded eagerly (they are
+/// a handful of bytes), array payloads stay as borrowed slices of the
+/// input buffer — no per-field `Vec` copies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewValue<'a> {
+    Scalar(Value),
+    /// Raw little-endian element bytes, borrowed from the record buffer.
+    Array {
+        elem: BaseType,
+        count: u64,
+        bytes: &'a [u8],
+    },
+}
+
+impl<'a> ViewValue<'a> {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ViewValue::Scalar(v) => v.as_u64(),
+            ViewValue::Array { .. } => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ViewValue::Scalar(v) => v.as_str(),
+            ViewValue::Array { .. } => None,
+        }
+    }
+
+    /// The borrowed payload of a `U8` array — the zero-copy fast path for
+    /// blob fields.
+    pub fn bytes(&self) -> Option<&'a [u8]> {
+        match self {
+            ViewValue::Array {
+                elem: BaseType::U8,
+                bytes,
+                ..
+            } => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// Materialize an owned [`Value`] (copies array payloads).
+    pub fn to_value(&self) -> Result<Value> {
+        match self {
+            ViewValue::Scalar(v) => Ok(v.clone()),
+            ViewValue::Array { elem, count, bytes } => {
+                let mut r = Reader::new(bytes);
+                let n = *count as usize;
+                decode_array_elems(&mut r, *elem, n)
+            }
+        }
+    }
+}
+
+/// A decoded record whose array payloads borrow from the input buffer.
+///
+/// This is the staging-pipeline decode path: a pulled chunk's multi-MB
+/// payload field is exposed as a slice view into the pull buffer instead
+/// of being copied into an owned `Value::ArrU8` first.
+#[derive(Debug)]
+pub struct RecordView<'a> {
+    format: Arc<FormatDesc>,
+    values: Vec<ViewValue<'a>>,
+    attrs: AttrList,
+}
+
+impl<'a> RecordView<'a> {
+    pub fn format(&self) -> &Arc<FormatDesc> {
+        &self.format
+    }
+
+    pub fn attrs(&self) -> &AttrList {
+        &self.attrs
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ViewValue<'a>> {
+        self.format.field_index(name).map(|i| &self.values[i])
+    }
+}
+
+/// Decode a record without copying array payloads: the returned view
+/// borrows every array field from `buf`. Schema handling matches
+/// [`decode`].
+pub fn decode_view<'a>(buf: &'a [u8], registry: Option<&FormatRegistry>) -> Result<RecordView<'a>> {
+    let header = decode_header(buf)?;
+    let mut r = Reader::new(buf);
+    r.take(14, "header")?; // skip re-validated header
+
+    let format: Arc<FormatDesc> = if header.has_embedded_schema {
+        let fmt = decode_schema(&mut r)?;
+        if fmt.fingerprint() != header.fingerprint {
+            return Err(FfsError::Corrupt("embedded schema fingerprint mismatch"));
+        }
+        match registry {
+            Some(reg) => reg.intern(fmt),
+            None => Arc::new(fmt),
+        }
+    } else {
+        let reg = registry.ok_or(FfsError::RegistryRequired(header.fingerprint))?;
+        reg.lookup(header.fingerprint)
+            .ok_or(FfsError::UnknownFormat(header.fingerprint))?
+    };
+
+    let attrs = AttrList::decode_from(&mut r)?;
+
+    let mut values: Vec<Option<ViewValue<'a>>> = vec![None; format.fields().len()];
+    for (i, field) in format.fields().iter().enumerate() {
+        let v = match &field.ty {
+            FieldType::Scalar(b) => {
+                ViewValue::Scalar(decode_value_payload(&mut r, *b, false, None)?)
+            }
+            FieldType::Array { elem, dims } => {
+                let mut expected: u64 = 1;
+                for d in dims {
+                    let extent = match d {
+                        DimSpec::Fixed(n) => *n,
+                        DimSpec::Var(name) => {
+                            let j = format
+                                .field_index(name)
+                                .ok_or(FfsError::Corrupt("dangling var dim"))?;
+                            values[j]
+                                .as_ref()
+                                .and_then(|v| v.as_u64())
+                                .ok_or(FfsError::Corrupt("var dim not yet decoded"))?
+                        }
+                    };
+                    expected = expected.saturating_mul(extent);
+                }
+                let count = r.u64("array count")?;
+                if expected != count {
+                    return Err(FfsError::Corrupt("array count disagrees with dimensions"));
+                }
+                if *elem == BaseType::Str {
+                    return Err(FfsError::Corrupt("string arrays are not supported"));
+                }
+                let elem_size = elem.wire_size().max(1);
+                if count as usize > r.remaining() / elem_size {
+                    return Err(FfsError::Truncated("array elements"));
+                }
+                let bytes = r.take(count as usize * elem_size, "array payload")?;
+                ViewValue::Array {
+                    elem: *elem,
+                    count,
+                    bytes,
+                }
+            }
+        };
+        values[i] = Some(v);
+    }
+
+    Ok(RecordView {
+        format,
+        values: values
+            .into_iter()
+            .map(|v| v.expect("all decoded"))
+            .collect(),
+        attrs,
+    })
+}
+
+/// Materialize `n` owned array elements from a reader positioned at the
+/// element bytes.
+fn decode_array_elems(r: &mut Reader<'_>, base: BaseType, n: usize) -> Result<Value> {
+    Ok(match base {
+        BaseType::I8 => Value::ArrI8(
+            (0..n)
+                .map(|_| r.u8("e").map(|b| b as i8))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U8 => Value::ArrU8(r.take(n, "bytes")?.to_vec()),
+        BaseType::I16 => Value::ArrI16(
+            (0..n)
+                .map(|_| r.u16("e").map(|b| b as i16))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U16 => Value::ArrU16((0..n).map(|_| r.u16("e")).collect::<Result<_>>()?),
+        BaseType::I32 => Value::ArrI32(
+            (0..n)
+                .map(|_| r.u32("e").map(|b| b as i32))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U32 => Value::ArrU32((0..n).map(|_| r.u32("e")).collect::<Result<_>>()?),
+        BaseType::I64 => Value::ArrI64(
+            (0..n)
+                .map(|_| r.u64("e").map(|b| b as i64))
+                .collect::<Result<_>>()?,
+        ),
+        BaseType::U64 => Value::ArrU64((0..n).map(|_| r.u64("e")).collect::<Result<_>>()?),
+        BaseType::F32 => Value::ArrF32((0..n).map(|_| r.f32("e")).collect::<Result<_>>()?),
+        BaseType::F64 => Value::ArrF64((0..n).map(|_| r.f64("e")).collect::<Result<_>>()?),
+        BaseType::Str => return Err(FfsError::Corrupt("string arrays are not supported")),
+    })
+}
+
 pub(crate) fn decode_schema(r: &mut Reader<'_>) -> Result<FormatDesc> {
     let name = r.str16("format name")?;
     let nfields = r.u16("field count")? as usize;
@@ -295,6 +490,67 @@ mod tests {
     }
 
     #[test]
+    fn view_borrows_array_payloads_from_input() {
+        let r = sample();
+        let buf = r.encode_self_contained().unwrap();
+        let view = decode_view(&buf, None).unwrap();
+
+        assert_eq!(view.get("step").unwrap().as_u64(), Some(42));
+        assert_eq!(view.get("label").unwrap().as_str(), Some("ions"));
+        assert_eq!(view.attrs().get_f64("lmin"), Some(-2.0));
+
+        // The f64 array is a borrowed slice whose pointer lies inside the
+        // input buffer — the zero-copy property, checked directly.
+        let ViewValue::Array { elem, count, bytes } = view.get("x").unwrap() else {
+            panic!("x must decode as an array view");
+        };
+        assert_eq!((*elem, *count), (BaseType::F64, 3));
+        let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(buf_range.contains(&(bytes.as_ptr() as usize)));
+        let xs: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|w| f64::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        assert_eq!(xs, vec![1.0, -2.0, 3.5]);
+
+        // Materializing still yields the owned decode's values.
+        assert_eq!(
+            view.get("ids").unwrap().to_value().unwrap(),
+            Value::ArrI32(vec![-1, 0, 1])
+        );
+    }
+
+    #[test]
+    fn view_matches_owned_decode_on_by_ref_records() {
+        let r = sample();
+        let buf = r.encode_by_ref().unwrap();
+        assert!(matches!(
+            decode_view(&buf, None),
+            Err(FfsError::RegistryRequired(_))
+        ));
+        let reg = FormatRegistry::new();
+        reg.register(r.format());
+        let view = decode_view(&buf, Some(&reg)).unwrap();
+        let owned = decode(&buf, Some(&reg)).unwrap();
+        for f in ["step", "label", "n", "x", "ids"] {
+            assert_eq!(
+                &view.get(f).unwrap().to_value().unwrap(),
+                owned.get(f).unwrap(),
+                "field {f} must agree between view and owned decode"
+            );
+        }
+    }
+
+    #[test]
+    fn view_rejects_truncated_and_hostile_input() {
+        let r = sample();
+        let buf = r.encode_self_contained().unwrap();
+        for cut in [buf.len() - 1, buf.len() / 2, 15] {
+            assert!(decode_view(&buf[..cut], None).is_err());
+        }
+    }
+
+    #[test]
     fn hostile_array_count_rejected_without_allocation() {
         // Craft a record whose array claims u64::MAX elements.
         let fmt = FormatDesc::new("f")
@@ -310,5 +566,6 @@ mod tests {
         let l = buf.len();
         buf[l - 16..l - 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(decode(&buf, None).is_err());
+        assert!(decode_view(&buf, None).is_err());
     }
 }

@@ -49,7 +49,7 @@ mod types;
 mod wire;
 
 pub use attr::AttrList;
-pub use decode::{decode, decode_header, DecodedHeader};
+pub use decode::{decode, decode_header, decode_view, DecodedHeader, RecordView, ViewValue};
 pub use error::{FfsError, Result};
 pub use registry::{FormatId, FormatRegistry};
 pub use types::{

@@ -6,104 +6,246 @@
 //! module provides the small subset the staging runtime needs: a typed
 //! [`EventQueue`] and composable [`Stone`] chains.
 //!
+//! [`EventQueue`] is a multi-producer **multi-consumer** bounded queue
+//! built on a mutex + two condvars. Blocked producers park on `not_full`
+//! and blocked consumers on `not_empty` — there is no sleep-polling
+//! anywhere, so hand-off latency is bounded by the scheduler, not by a
+//! spin interval. [`EventQueue::close`] tears the queue down: parked
+//! producers fail fast with [`SubmitError::Closed`], and consumers drain
+//! the remaining events before seeing [`PollError::Closed`]. That is the
+//! shutdown/cancellation path of the staging worker pool.
+//!
 //! Stones run inline on the submitting thread (EVPath's default immediate
 //! dispatch); queues decouple threads where the staging node's worker pool
 //! needs it.
 
-use std::sync::Arc;
-use std::time::Duration;
-
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-
-/// Typed MPMC event queue connecting pipeline threads inside a staging
-/// node. Bounded queues provide back-pressure so a fast fetcher cannot
-/// overrun a slow operator (the streaming-memory constraint).
-pub struct EventQueue<T> {
-    tx: Sender<T>,
-    rx: Receiver<T>,
-}
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Queue submission failures.
 #[derive(Debug, PartialEq, Eq)]
 pub enum SubmitError<T> {
     /// Bounded queue is full (back-pressure).
     Full(T),
-    /// All consumers dropped.
+    /// The queue was closed.
     Closed(T),
+}
+
+/// Why a blocking receive returned without an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollError {
+    /// The deadline passed with the queue still open.
+    Timeout,
+    /// The queue is closed and fully drained; no event will ever arrive.
+    Closed,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Typed MPMC event queue connecting pipeline threads inside a staging
+/// node. Bounded queues provide back-pressure so a fast fetcher cannot
+/// overrun slow operators (the streaming-memory constraint); multiple
+/// consumers let a decode+map worker pool pull from one queue.
+pub struct EventQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for EventQueue<T> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl<T> EventQueue<T> {
     /// Unbounded queue.
     pub fn unbounded() -> Self {
-        let (tx, rx) = unbounded();
-        EventQueue { tx, rx }
+        Self::with_capacity(None)
     }
 
     /// Bounded queue of capacity `cap`.
     pub fn bounded(cap: usize) -> Self {
-        let (tx, rx) = bounded(cap);
-        EventQueue { tx, rx }
+        Self::with_capacity(Some(cap))
     }
 
-    /// Blocking submit (waits when bounded and full).
+    fn with_capacity(cap: Option<usize>) -> Self {
+        EventQueue {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                cap,
+            }),
+        }
+    }
+
+    /// Blocking submit (parks while bounded and full). Submitting to a
+    /// closed queue is a no-op, mirroring EVPath's torn-down graphs.
     pub fn submit(&self, ev: T) {
-        // Ignoring the error mirrors EVPath: submitting to a torn-down
-        // graph is a no-op.
-        let _ = self.tx.send(ev);
+        let _ = self.send(ev);
+    }
+
+    /// Blocking submit that reports teardown: parks while the queue is
+    /// full, returns `Err(Closed)` if the queue is (or becomes) closed.
+    pub fn send(&self, ev: T) -> Result<(), SubmitError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.closed {
+                return Err(SubmitError::Closed(ev));
+            }
+            match self.shared.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self
+                        .shared
+                        .not_full
+                        .wait(inner)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(ev);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
     }
 
     /// Non-blocking submit.
     pub fn try_submit(&self, ev: T) -> Result<(), SubmitError<T>> {
-        self.tx.try_send(ev).map_err(|e| match e {
-            TrySendError::Full(v) => SubmitError::Full(v),
-            TrySendError::Disconnected(v) => SubmitError::Closed(v),
-        })
+        let mut inner = self.shared.lock();
+        if inner.closed {
+            return Err(SubmitError::Closed(ev));
+        }
+        if let Some(cap) = self.shared.cap {
+            if inner.queue.len() >= cap {
+                return Err(SubmitError::Full(ev));
+            }
+        }
+        inner.queue.push_back(ev);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking receive with deadline, distinguishing timeout from
+    /// teardown. A closed queue is drained before `Closed` is reported.
+    pub fn recv(&self, timeout: Duration) -> Result<T, PollError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(ev) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(ev);
+            }
+            if inner.closed {
+                return Err(PollError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PollError::Timeout);
+            }
+            let (g, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = g;
+        }
     }
 
     /// Blocking receive with deadline. `None` on timeout or teardown.
     pub fn poll(&self, timeout: Duration) -> Option<T> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(v) => Some(v),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
-        }
+        self.recv(timeout).ok()
     }
 
     pub fn try_poll(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        let mut inner = self.shared.lock();
+        let ev = inner.queue.pop_front();
+        drop(inner);
+        if ev.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        ev
+    }
+
+    /// Close the queue: parked producers fail with `Closed`, consumers
+    /// drain what remains then see [`PollError::Closed`]. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.shared.lock();
+        inner.closed = true;
+        drop(inner);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
     }
 
     pub fn len(&self) -> usize {
-        self.rx.len()
+        self.shared.lock().queue.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rx.is_empty()
+        self.len() == 0
     }
 
     /// A clonable submission handle (e.g. one per fetcher thread).
     pub fn sender(&self) -> QueueSender<T> {
         QueueSender {
-            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
         }
     }
 }
 
 /// Cheap clonable handle for submitting into an [`EventQueue`].
 pub struct QueueSender<T> {
-    tx: Sender<T>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Clone for QueueSender<T> {
     fn clone(&self) -> Self {
         QueueSender {
-            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
         }
     }
 }
 
 impl<T> QueueSender<T> {
     pub fn submit(&self, ev: T) {
-        let _ = self.tx.send(ev);
+        let _ = self.send(ev);
+    }
+
+    /// Blocking submit that reports teardown (see [`EventQueue::send`]).
+    pub fn send(&self, ev: T) -> Result<(), SubmitError<T>> {
+        EventQueue {
+            shared: Arc::clone(&self.shared),
+        }
+        .send(ev)
     }
 }
 
@@ -213,6 +355,79 @@ mod tests {
         assert_eq!(q.poll(Duration::from_millis(1)), Some(1));
         q.try_submit(3).unwrap();
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn blocked_submit_parks_until_space() {
+        let q = EventQueue::bounded(1);
+        q.submit(1u64);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.send(2).is_ok());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.poll(Duration::from_secs(1)), Some(1));
+        assert_eq!(q.poll(Duration::from_secs(1)), Some(2));
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn close_fails_parked_submitter() {
+        let q = EventQueue::bounded(1);
+        q.submit(1u64);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.send(2));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(SubmitError::Closed(2)));
+        // The queued event is still drainable, then Closed is reported.
+        assert_eq!(q.recv(Duration::from_millis(1)), Ok(1));
+        assert_eq!(q.recv(Duration::from_millis(1)), Err(PollError::Closed));
+    }
+
+    #[test]
+    fn recv_distinguishes_timeout_from_close() {
+        let q = EventQueue::<u8>::unbounded();
+        assert_eq!(q.recv(Duration::from_millis(1)), Err(PollError::Timeout));
+        q.close();
+        assert_eq!(q.recv(Duration::from_millis(1)), Err(PollError::Closed));
+        assert_eq!(q.try_submit(1), Err(SubmitError::Closed(1)));
+    }
+
+    #[test]
+    fn close_wakes_parked_consumers() {
+        let q = EventQueue::<u8>::unbounded();
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.recv(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        // Far sooner than the 30 s deadline: close() woke the waiter.
+        assert_eq!(t.join().unwrap(), Err(PollError::Closed));
+    }
+
+    #[test]
+    fn multi_consumer_work_sharing() {
+        let q = EventQueue::bounded(8);
+        let consumed = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while let Ok(v) = q.recv(Duration::from_secs(5)) {
+                        consumed.fetch_add(v, Ordering::SeqCst);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for v in 1..=100u64 {
+            q.submit(v);
+        }
+        q.close();
+        let per_worker: Vec<u64> = workers.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(per_worker.iter().sum::<u64>(), 100);
+        assert_eq!(consumed.load(Ordering::SeqCst), 5050);
     }
 
     #[test]

@@ -7,17 +7,25 @@
 //! staging node is ready to issue pulls, *which* pending requests to pull
 //! now and which to defer.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::request::FetchRequest;
 
+#[derive(Debug, Default)]
+struct SignalInner {
+    busy: Mutex<bool>,
+    idle: Condvar,
+}
+
 /// Shared flag the application (or the machine model) raises while the
 /// simulation is inside communication-heavy phases (collectives). The
-/// phase-aware policy defers bulk pulls while it is set.
+/// phase-aware policy defers bulk pulls while it is set; pullers park on
+/// the internal condvar instead of polling, and are woken the moment the
+/// application clears the flag.
 #[derive(Debug, Clone, Default)]
 pub struct CongestionSignal {
-    busy: Arc<AtomicBool>,
+    inner: Arc<SignalInner>,
 }
 
 impl CongestionSignal {
@@ -25,13 +33,53 @@ impl CongestionSignal {
         Self::default()
     }
 
-    /// Mark the network as busy with application traffic.
+    /// Mark the network as busy with application traffic. Clearing the
+    /// flag wakes every thread parked in [`wait_until_idle`].
+    ///
+    /// [`wait_until_idle`]: CongestionSignal::wait_until_idle
     pub fn set_busy(&self, busy: bool) {
-        self.busy.store(busy, Ordering::Release);
+        let mut guard = self
+            .inner
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard = busy;
+        drop(guard);
+        if !busy {
+            self.inner.idle.notify_all();
+        }
     }
 
     pub fn is_busy(&self) -> bool {
-        self.busy.load(Ordering::Acquire)
+        *self
+            .inner
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Park until the signal clears or `timeout` passes. Returns true if
+    /// the network is idle on return.
+    pub fn wait_until_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self
+            .inner
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *guard {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .inner
+                .idle
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = g;
+        }
+        true
     }
 }
 
@@ -51,6 +99,21 @@ pub trait PullPolicy: Send + Sync {
     /// Whether to defer issuing pulls right now.
     fn should_defer(&self) -> bool {
         false
+    }
+
+    /// Block until the policy is willing to issue pulls, or `timeout`
+    /// passes. Returns true when ready. Built-in deferring policies park
+    /// on a condvar ([`PhaseAwarePolicy`]) or for the exact token-refill
+    /// interval ([`RateLimitedPolicy`]) — callers never need to spin on
+    /// [`should_defer`](PullPolicy::should_defer).
+    fn wait_ready(&self, timeout: Duration) -> bool {
+        if !self.should_defer() {
+            return true;
+        }
+        // Fallback pacing for custom deferring policies that don't
+        // override this: one bounded park, then re-check.
+        std::thread::sleep(timeout);
+        !self.should_defer()
     }
 }
 
@@ -113,6 +176,10 @@ impl PullPolicy for PhaseAwarePolicy {
     fn should_defer(&self) -> bool {
         self.signal.is_busy()
     }
+
+    fn wait_ready(&self, timeout: Duration) -> bool {
+        self.signal.wait_until_idle(timeout)
+    }
 }
 
 /// Token-bucket throttle: bounds the average pull bandwidth so staged
@@ -165,6 +232,22 @@ impl PullPolicy for RateLimitedPolicy {
         // Defer while the bucket cannot cover a nominal chunk; the probe
         // charge keeps long-run throughput at the configured rate.
         !self.try_spend(self.bytes_per_sec * 0.01)
+    }
+
+    fn wait_ready(&self, timeout: Duration) -> bool {
+        let probe = self.bytes_per_sec * 0.01;
+        if self.try_spend(probe) {
+            return true;
+        }
+        // Park once for exactly the refill time of the deficit — no
+        // repeated polling at a fixed interval.
+        let wait = {
+            let guard = self.tokens.lock().expect("token bucket poisoned");
+            let deficit = (probe - guard.0).max(0.0);
+            Duration::from_secs_f64(deficit / self.bytes_per_sec)
+        };
+        std::thread::sleep(wait.min(timeout));
+        self.try_spend(probe)
     }
 }
 
@@ -234,5 +317,33 @@ mod tests {
         assert!(p.should_defer());
         sig.set_busy(false);
         assert!(!p.should_defer());
+    }
+
+    #[test]
+    fn phase_aware_wait_ready_wakes_on_signal_clear() {
+        let sig = CongestionSignal::new();
+        sig.set_busy(true);
+        let p = PhaseAwarePolicy::new(sig.clone(), 2);
+        assert!(!p.wait_ready(Duration::from_millis(2)), "still busy");
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            sig.set_busy(false);
+        });
+        let start = Instant::now();
+        // Far shorter than the 10 s budget: woken by the condvar, not by
+        // the deadline.
+        assert!(p.wait_ready(Duration::from_secs(10)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rate_limited_wait_ready_parks_for_refill() {
+        let p = RateLimitedPolicy::new(1e6, 10e3);
+        // Drain the burst.
+        while p.try_spend(1e3) {}
+        // The probe is 1% of the rate = 10 KB... larger than remaining
+        // tokens, so wait_ready must park for the deficit then succeed.
+        assert!(p.wait_ready(Duration::from_secs(1)));
     }
 }

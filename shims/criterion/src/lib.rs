@@ -1,0 +1,375 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the macro/builder surface the bench targets use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::default()`,
+//! benchmark groups with throughput annotations, and `Bencher::iter` —
+//! backed by straightforward wall-clock sampling. Reports median
+//! per-iteration time (and derived throughput) on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales the reported rate line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup; accepted for API
+/// compatibility (the shim always times one routine call per sample).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self {
+            name: String::new(),
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name, param: None }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.param {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Top-level benchmark configuration / driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        let mut g = self.benchmark_group(String::new());
+        g.sample_size = sample_size;
+        g.measurement_time = measurement_time;
+        g.bench_function(id, f);
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        let Some(median) = b.median_secs() else {
+            println!("{label:<50} (no samples)");
+            return;
+        };
+        let mut line = format!("{label:<50} time: [{}]", fmt_time(median));
+        match self.throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                let rate = n as f64 / median;
+                line.push_str(&format!("  thrpt: [{}/s]", fmt_bytes(rate)));
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median;
+                line.push_str(&format!("  thrpt: [{rate:.3e} elem/s]"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_bytes(rate: f64) -> String {
+    const KIB: f64 = 1024.0;
+    if rate >= KIB * KIB * KIB {
+        format!("{:.3} GiB", rate / (KIB * KIB * KIB))
+    } else if rate >= KIB * KIB {
+        format!("{:.3} MiB", rate / (KIB * KIB))
+    } else if rate >= KIB {
+        format!("{:.3} KiB", rate / KIB)
+    } else {
+        format!("{rate:.1} B")
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_secs_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Self {
+            sample_size,
+            measurement_time,
+            samples_secs_per_iter: Vec::new(),
+        }
+    }
+
+    /// Run `f` repeatedly and record per-iteration wall time.
+    ///
+    /// One warmup call sizes the per-sample iteration count so each
+    /// sample runs ≥ ~200 µs; sampling stops at `sample_size` samples
+    /// or when the measurement-time budget is spent, whichever first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let started = Instant::now();
+        let warm = Instant::now();
+        black_box(f());
+        let d0 = warm.elapsed().as_secs_f64().max(1e-9);
+        let iters_per_sample = ((200e-6 / d0).ceil() as usize).clamp(1, 1 << 20);
+
+        self.samples_secs_per_iter.clear();
+        while self.samples_secs_per_iter.len() < self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let dt = t.elapsed().as_secs_f64();
+            self.samples_secs_per_iter
+                .push(dt / iters_per_sample as f64);
+            if started.elapsed() >= self.measurement_time && !self.samples_secs_per_iter.is_empty()
+            {
+                break;
+            }
+        }
+    }
+
+    /// `iter` variant that times only what `f` returns from `routine`;
+    /// provided for API compatibility (timed identically to `iter`).
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f);
+    }
+
+    /// `iter` variant whose `setup` runs outside the timed window, for
+    /// routines that consume their input. Each sample times a single
+    /// routine call (consuming setups are assumed expensive enough that
+    /// batching them would blow the measurement budget).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        self.samples_secs_per_iter.clear();
+        while self.samples_secs_per_iter.len() < self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_secs_per_iter.push(t.elapsed().as_secs_f64());
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn median_secs(&self) -> Option<f64> {
+        if self.samples_secs_per_iter.is_empty() {
+            return None;
+        }
+        let mut s = self.samples_secs_per_iter.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        Some(s[s.len() / 2])
+    }
+
+    /// Median seconds per iteration of the last `iter` run (shim
+    /// extension, used by tests and scripted throughput comparisons).
+    pub fn median_secs_per_iter(&self) -> Option<f64> {
+        self.median_secs()
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(5, Duration::from_millis(200));
+        b.iter(|| black_box(42));
+        assert!(b.median_secs_per_iter().is_some());
+        assert!(b.median_secs_per_iter().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("pack", 4).to_string(), "pack/4");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,356 @@
+//! Core [`Strategy`] trait, primitive strategies, and combinators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::{Reject, TestRng};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Object safe (combinators are `Self: Sized`), so heterogeneous
+/// strategies can be unified as `BoxedStrategy<T>`.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value, or reject the case (e.g. a filter miss).
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Use each generated value to build a follow-up strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keep only values for which `f` returns true (bounded retries).
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Full-range primitive strategy backing `any::<T>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(pub(crate) PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                Ok(rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> Result<bool, Reject> {
+        Ok(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        // Arbitrary bit patterns: covers subnormals, infinities, NaN
+        // (callers filter with `prop_filter("finite", ...)` when needed).
+        Ok(f64::from_bits(rng.next_u64()))
+    }
+}
+
+impl Strategy for AnyPrim<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Result<f32, Reject> {
+        Ok(f32::from_bits(rng.next_u64() as u32))
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok((lo as i128 + rng.below(span as u64) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "empty range strategy");
+                let f = rng.next_f64() as $t;
+                Ok(self.start + (self.end - self.start) * f)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let f = rng.next_f64() as $t;
+                Ok(lo + (hi - lo) * f)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng)?;)+
+                Ok(($($v,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+    (A a, B b, C c, D d, E e, F f, G g)
+    (A a, B b, C c, D d, E e, F f, G g, H h)
+    (A a, B b, C c, D d, E e, F f, G g, H h, I i)
+    (A a, B b, C c, D d, E e, F f, G g, H h, I i, J j)
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        Ok((self.f)(self.base.generate(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+        (self.f)(self.base.generate(rng)?).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+        for _ in 0..64 {
+            let v = self.base.generate(rng)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Reject(format!("filter exhausted retries: {}", self.whence)))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn gen_ok<S: Strategy>(s: &S) -> S::Value {
+        let mut rng = TestRng::new(12345);
+        s.generate(&mut rng).expect("generated")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng).unwrap();
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng).unwrap();
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-5i64..=5).generate(&mut rng).unwrap();
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_filter_compose() {
+        let s = (1usize..5)
+            .prop_flat_map(|n| prop::collection::vec(0u64..100, n..n + 1))
+            .prop_map(|v| v.len())
+            .prop_filter("nonzero", |n| *n > 0);
+        let n = gen_ok(&s);
+        assert!((1..5).contains(&n));
+    }
+
+    #[test]
+    fn oneof_selects_all_arms_eventually() {
+        let s = prop_oneof![Just(1u8), Just(2u8), 5u8..7];
+        let mut rng = TestRng::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng).unwrap());
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&5));
+    }
+
+    #[test]
+    fn vec_and_select_and_tuples() {
+        let s = prop::collection::vec(
+            (prop::sample::select(vec!["a", "b"]), any::<u8>(), 0i64..4),
+            2..6,
+        );
+        let v = gen_ok(&s);
+        assert!((2..6).contains(&v.len()));
+        for (name, _, x) in v {
+            assert!(name == "a" || name == "b");
+            assert!((0..4).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro pipeline itself: generation, assume, and asserts.
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != b);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_ne!(a, b);
+            prop_assert_eq!(a + b, b + a, "addition commutes for {} {}", a, b);
+        }
+    }
+
+    prop_compose! {
+        /// Composition macro: outer params + generated args.
+        fn arb_scaled(scale: u64)(x in 1u64..10) -> u64 { x * scale }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_applies_body(v in arb_scaled(3)) {
+            prop_assert!(v % 3 == 0 && (3..30).contains(&v));
+        }
+    }
+}

@@ -65,7 +65,11 @@ fn reorg_merges_exactly_and_reads_cheaper() {
         for rank in 0..n_staging {
             let path = dir.join(format!("merged_step0_rank{rank}.bp"));
             let mut r = BpReader::open(&path).unwrap();
-            assert_eq!(r.index().attr("layout"), Some("merged"), "annotation present");
+            assert_eq!(
+                r.index().attr("layout"),
+                Some("merged"),
+                "annotation present"
+            );
             let idx = r.index().chunks_of(field, 0)[0].clone();
             let data = r
                 .read_box(field, 0, &idx.offset_in_global, &idx.local)

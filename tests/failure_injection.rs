@@ -22,6 +22,33 @@ fn out_dir(tag: &str) -> std::path::PathBuf {
     d
 }
 
+/// An output directory that cannot be created (its parent is a plain
+/// file) must fail `StagingRank::new` with an Io error at startup, not
+/// surface as silent per-step write failures later.
+#[test]
+fn uncreatable_out_dir_fails_at_startup() {
+    let (_fabric, _computes, stagings) = Fabric::new(1, 1, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(1, 1));
+    let blocker = std::env::temp_dir().join(format!("failure-io-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").unwrap();
+
+    let (_world, mut comms) = World::with_size(1);
+    let result = StagingRank::new(
+        comms.remove(0),
+        stagings.into_iter().next().unwrap(),
+        router,
+        Box::new(FifoPolicy::default()),
+        vec![],
+        StagingConfig::new(1, blocker.join("out")),
+    );
+    match result {
+        Err(StagingError::Io(_)) => {}
+        Ok(_) => panic!("expected an io error, got a staging rank"),
+        Err(other) => panic!("expected an io error, got {other:?}"),
+    }
+    std::fs::remove_file(&blocker).ok();
+}
+
 /// A compute rank exposes garbage bytes instead of a packed chunk: the
 /// staging rank must report a decode error, not crash or deliver junk.
 #[test]
@@ -55,7 +82,8 @@ fn corrupt_chunk_reported_as_chunk_error() {
         Box::new(FifoPolicy::default()),
         vec![Box::new(HistogramOp::new(vec![0], 4)) as Box<dyn StreamOp>],
         StagingConfig::new(1, &dir),
-    );
+    )
+    .expect("staging rank starts");
     match rank.run_step(0) {
         Err(StagingError::Chunk(_)) => {}
         other => panic!("expected a chunk decode error, got {other:?}"),
@@ -88,7 +116,8 @@ fn stale_step_reported_as_skew() {
         Box::new(FifoPolicy::default()),
         vec![],
         StagingConfig::new(1, &dir),
-    );
+    )
+    .expect("staging rank starts");
     // Staging is already past step 3, gathering step 7.
     match rank.run_step(7) {
         Err(StagingError::StepSkew {
