@@ -123,5 +123,49 @@ fn bench_map_stage(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_map_stage);
+/// The observability budget: the same step with span recording enabled
+/// vs disabled. The paper-facing bar is <3% regression (the
+/// `obs_overhead` integration test asserts it with CI slack; this bench
+/// is the precision instrument).
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("staging-bench-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut g = c.benchmark_group("staging_step_obs");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let mut medians: Vec<(&str, f64)> = Vec::new();
+    for (mode, on) in [("metrics_off", false), ("metrics_on", true)] {
+        obs::set_enabled(on);
+        let mut median = 0.0;
+        g.bench_function(mode, |b| {
+            b.iter_batched(
+                || staged_step(&dir),
+                |(_fabric, mut rank)| black_box(rank.run_step(0).unwrap()),
+                BatchSize::PerIteration,
+            );
+            median = b.median_secs_per_iter().unwrap_or(0.0);
+        });
+        medians.push((mode, median));
+    }
+    g.finish();
+    obs::set_enabled(false);
+    std::fs::remove_dir_all(&dir).ok();
+
+    if let (Some((_, off)), Some((_, on))) = (
+        medians.iter().find(|(m, _)| *m == "metrics_off"),
+        medians.iter().find(|(m, _)| *m == "metrics_on"),
+    ) {
+        if *off > 0.0 {
+            println!(
+                "staging_step_obs: metrics overhead = {:+.2}% \
+                 ({:.2} ms off -> {:.2} ms on per step)",
+                (on / off - 1.0) * 100.0,
+                off * 1e3,
+                on * 1e3
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_map_stage, bench_metrics_overhead);
 criterion_main!(benches);

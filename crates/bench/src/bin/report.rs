@@ -1,0 +1,56 @@
+//! `predata-report` — render an `obs` JSON snapshot as step-by-step
+//! timing tables (the stage breakdowns of the paper's Fig. 7–9).
+//!
+//! Usage:
+//!
+//! ```text
+//! predata-report <snapshot.json>
+//! predata-report -          # read the snapshot from stdin
+//! ```
+//!
+//! Snapshots come from `PREDATA_METRICS=/path/snapshot.json` (written
+//! at `StagingArea::join`) or from `obs::global().snapshot().to_json()`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if p != "--help" && p != "-h" => p.clone(),
+        _ => {
+            eprintln!("usage: predata-report <snapshot.json | ->");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("predata-report: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("predata-report: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    match predata_bench::report::render_snapshot_str(&text) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("predata-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

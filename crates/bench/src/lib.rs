@@ -19,6 +19,8 @@
 use simhec::scenario::{OpKind, Placement, PullPolicyKind, ScenarioConfig};
 use simhec::{MachineConfig, OpCosts};
 
+pub mod report;
+
 /// The core counts of the paper's GTC weak-scaling sweep.
 pub const GTC_SCALES: [usize; 6] = [512, 1024, 2048, 4096, 8192, 16_384];
 

@@ -1,0 +1,372 @@
+//! Rendering of `obs` JSON snapshots into paper-style timing tables.
+//!
+//! The input is the schema produced by [`obs::Snapshot::to_json`]
+//! (`version: 1`): counters, gauges, log₂ histograms, and per-step span
+//! aggregates. The output mirrors the stage-breakdown tables of the
+//! paper's Fig. 7–9: one row per I/O step, one column per pipeline
+//! stage, plus summary sections for the raw metrics.
+//!
+//! Used by the `predata-report` binary and by the schema-drift smoke
+//! test, so any change to the exporter's JSON shape fails the build
+//! here before it reaches a user.
+
+use serde_json::Value;
+
+/// Stages in canonical pipeline order (the order work flows through a
+/// staging rank); stages not listed here render after these,
+/// alphabetically.
+const STAGE_ORDER: [&str; 9] = [
+    "pull",
+    "decode",
+    "map",
+    "gather",
+    "aggregate",
+    "combine",
+    "shuffle",
+    "reduce",
+    "finalize",
+];
+
+/// Format a nanosecond quantity with a human-scale unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn label_suffix(metric: &Value) -> String {
+    let Some(labels) = metric.get("labels").and_then(Value::as_object) else {
+        return String::new();
+    };
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+        .collect();
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn require<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("snapshot {ctx}: missing key `{key}`"))
+}
+
+fn require_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    require(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("snapshot {ctx}: `{key}` is not a u64"))
+}
+
+/// One `(stage, step)` span aggregate pulled out of the `steps` section.
+struct StageCell {
+    step: u64,
+    stage: String,
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn parse_steps(root: &Value) -> Result<Vec<StageCell>, String> {
+    let mut cells = Vec::new();
+    for step_obj in require(root, "steps", "root")?
+        .as_array()
+        .ok_or("snapshot root: `steps` is not an array")?
+    {
+        let step = require_u64(step_obj, "step", "steps[]")?;
+        for stage_obj in require(step_obj, "stages", "steps[]")?
+            .as_array()
+            .ok_or("snapshot steps[]: `stages` is not an array")?
+        {
+            cells.push(StageCell {
+                step,
+                stage: require(stage_obj, "stage", "stages[]")?
+                    .as_str()
+                    .ok_or("snapshot stages[]: `stage` is not a string")?
+                    .to_string(),
+                count: require_u64(stage_obj, "count", "stages[]")?,
+                total_ns: require_u64(stage_obj, "total_ns", "stages[]")?,
+                max_ns: require_u64(stage_obj, "max_ns", "stages[]")?,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Order stage names canonically: pipeline order first, the rest
+/// alphabetically after.
+fn stage_sort_key(stage: &str) -> (usize, String) {
+    match STAGE_ORDER.iter().position(|s| *s == stage) {
+        Some(i) => (i, String::new()),
+        None => (STAGE_ORDER.len(), stage.to_string()),
+    }
+}
+
+fn render_step_table(cells: &[StageCell], out: &mut String) {
+    let mut stages: Vec<&str> = Vec::new();
+    let mut steps: Vec<u64> = Vec::new();
+    for c in cells {
+        if !stages.contains(&c.stage.as_str()) {
+            stages.push(&c.stage);
+        }
+        if !steps.contains(&c.step) {
+            steps.push(c.step);
+        }
+    }
+    stages.sort_by_key(|s| stage_sort_key(s));
+    steps.sort_unstable();
+
+    out.push_str("=== per-step stage timing (total span time) ===\n");
+    if cells.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return;
+    }
+
+    // Column widths: max of header and every cell in that column.
+    let mut widths: Vec<usize> = stages.iter().map(|s| s.len()).collect();
+    let mut grid: Vec<Vec<String>> = Vec::new();
+    for &step in &steps {
+        let mut row = Vec::new();
+        for (i, &stage) in stages.iter().enumerate() {
+            let cell = cells
+                .iter()
+                .find(|c| c.step == step && c.stage == stage)
+                .map(|c| fmt_ns(c.total_ns))
+                .unwrap_or_else(|| "-".to_string());
+            widths[i] = widths[i].max(cell.len());
+            row.push(cell);
+        }
+        grid.push(row);
+    }
+
+    let step_w = "step"
+        .len()
+        .max(steps.iter().map(|s| s.to_string().len()).max().unwrap_or(0));
+    let mut header = format!("{:>step_w$}", "step");
+    for (i, &stage) in stages.iter().enumerate() {
+        header.push_str(&format!("  {:>w$}", stage, w = widths[i]));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for (r, &step) in steps.iter().enumerate() {
+        out.push_str(&format!("{step:>step_w$}"));
+        for (i, cell) in grid[r].iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+        }
+        out.push('\n');
+    }
+}
+
+fn render_stage_summary(cells: &[StageCell], out: &mut String) {
+    let mut stages: Vec<&str> = Vec::new();
+    for c in cells {
+        if !stages.contains(&c.stage.as_str()) {
+            stages.push(&c.stage);
+        }
+    }
+    stages.sort_by_key(|s| stage_sort_key(s));
+
+    out.push_str("\n=== stage summary (all steps) ===\n");
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12}\n",
+        "stage", "calls", "total", "mean", "max"
+    ));
+    for stage in stages {
+        let (mut calls, mut total, mut max) = (0u64, 0u64, 0u64);
+        for c in cells.iter().filter(|c| c.stage == stage) {
+            calls += c.count;
+            total += c.total_ns;
+            max = max.max(c.max_ns);
+        }
+        let mean = total.checked_div(calls).unwrap_or(0);
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12} {:>12} {:>12}\n",
+            stage,
+            calls,
+            fmt_ns(total),
+            fmt_ns(mean),
+            fmt_ns(max)
+        ));
+    }
+}
+
+fn render_counters(root: &Value, out: &mut String) -> Result<(), String> {
+    let counters = require(root, "counters", "root")?
+        .as_array()
+        .ok_or("snapshot root: `counters` is not an array")?;
+    out.push_str("\n=== counters ===\n");
+    if counters.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for c in counters {
+        let name = require(c, "name", "counters[]")?
+            .as_str()
+            .ok_or("snapshot counters[]: `name` is not a string")?;
+        let value = require_u64(c, "value", "counters[]")?;
+        out.push_str(&format!("{name}{} = {value}\n", label_suffix(c)));
+    }
+    Ok(())
+}
+
+fn render_gauges(root: &Value, out: &mut String) -> Result<(), String> {
+    let gauges = require(root, "gauges", "root")?
+        .as_array()
+        .ok_or("snapshot root: `gauges` is not an array")?;
+    out.push_str("\n=== gauges ===\n");
+    if gauges.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for g in gauges {
+        let name = require(g, "name", "gauges[]")?
+            .as_str()
+            .ok_or("snapshot gauges[]: `name` is not a string")?;
+        let value = require(g, "value", "gauges[]")?
+            .as_i64()
+            .ok_or("snapshot gauges[]: `value` is not an i64")?;
+        let max = require(g, "max", "gauges[]")?
+            .as_i64()
+            .ok_or("snapshot gauges[]: `max` is not an i64")?;
+        out.push_str(&format!(
+            "{name}{} = {value} (high-water {max})\n",
+            label_suffix(g)
+        ));
+    }
+    Ok(())
+}
+
+fn render_histograms(root: &Value, out: &mut String) -> Result<(), String> {
+    let hists = require(root, "histograms", "root")?
+        .as_array()
+        .ok_or("snapshot root: `histograms` is not an array")?;
+    out.push_str("\n=== histograms ===\n");
+    if hists.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for h in hists {
+        let name = require(h, "name", "histograms[]")?
+            .as_str()
+            .ok_or("snapshot histograms[]: `name` is not a string")?;
+        let count = require_u64(h, "count", "histograms[]")?;
+        let sum = require_u64(h, "sum", "histograms[]")?;
+        let buckets = require(h, "buckets", "histograms[]")?
+            .as_array()
+            .ok_or("snapshot histograms[]: `buckets` is not an array")?;
+        let mean = sum.checked_div(count).unwrap_or(0);
+        out.push_str(&format!(
+            "{name}{}  count={count} sum={sum} mean={mean}\n",
+            label_suffix(h)
+        ));
+        for b in buckets {
+            let b = b
+                .as_array()
+                .ok_or("snapshot histograms[]: bucket is not a [lo,hi,count] array")?;
+            if b.len() != 3 {
+                return Err("snapshot histograms[]: bucket is not a [lo,hi,count] triple".into());
+            }
+            let (lo, hi, n) = (
+                b[0].as_u64().ok_or("bucket lo is not u64")?,
+                b[1].as_u64().ok_or("bucket hi is not u64")?,
+                b[2].as_u64().ok_or("bucket count is not u64")?,
+            );
+            out.push_str(&format!("    [{lo:>12}, {hi:>12})  {n}\n"));
+        }
+    }
+    Ok(())
+}
+
+/// Render a full snapshot (already parsed) into the report text.
+///
+/// Fails with a descriptive message on any schema mismatch — the
+/// `predata-report` smoke test in CI runs this against a checked-in
+/// sample so exporter drift is caught at build time.
+pub fn render_snapshot(root: &Value) -> Result<String, String> {
+    let version = require_u64(root, "version", "root")?;
+    if version != 1 {
+        return Err(format!(
+            "unsupported snapshot version {version} (expected 1)"
+        ));
+    }
+    let cells = parse_steps(root)?;
+    let mut out = String::new();
+    render_step_table(&cells, &mut out);
+    render_stage_summary(&cells, &mut out);
+    render_counters(root, &mut out)?;
+    render_gauges(root, &mut out)?;
+    render_histograms(root, &mut out)?;
+    Ok(out)
+}
+
+/// Parse snapshot JSON text and render it (the `predata-report` core).
+pub fn render_snapshot_str(text: &str) -> Result<String, String> {
+    let root = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    render_snapshot(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sample snapshot shipped for the CI smoke run.
+    const SAMPLE: &str = include_str!("../testdata/sample_snapshot.json");
+
+    #[test]
+    fn renders_the_checked_in_sample() {
+        let report = render_snapshot_str(SAMPLE).expect("sample snapshot must render");
+        assert!(report.contains("per-step stage timing"));
+        assert!(report.contains("decode"));
+        assert!(report.contains("transport.rdma_get_bytes"));
+    }
+
+    #[test]
+    fn renders_a_live_registry_snapshot() {
+        // Build a registry through the real obs API and round-trip it
+        // through to_json → parse → render, so any change to the
+        // exporter schema breaks this test immediately.
+        let reg = obs::Registry::new();
+        reg.counter("transport.rdma_get_bytes", &[]).add(4096);
+        reg.gauge("staging.work_queue_hwm", &[]).record_max(7);
+        reg.histogram("transport.rdma_get_ns", &[]).record(1500);
+        reg.record_span("decode", 0, 2_000_000);
+        reg.record_span("map", 0, 3_000_000);
+        reg.record_span("reduce", 1, 500_000);
+        let json = reg.snapshot().to_json();
+        let report = render_snapshot_str(&json).expect("live snapshot must render");
+        assert!(report.contains("decode"));
+        assert!(report.contains("map"));
+        assert!(report.contains("reduce"));
+        assert!(report.contains("staging.work_queue_hwm"));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let err = render_snapshot_str(
+            r#"{"version":2,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_missing_sections_with_a_named_key() {
+        let err = render_snapshot_str(r#"{"version":1}"#).unwrap_err();
+        assert!(err.contains("steps"), "got: {err}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_340_000), "2.34ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

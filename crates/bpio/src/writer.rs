@@ -67,6 +67,9 @@ impl BpWriter {
         let base = self.pos;
         self.out.write_all(&block)?;
         self.pos += block.len() as u64;
+        obs::global()
+            .counter("bpio.bytes_written", &[])
+            .add(block.len() as u64);
         self.index.pgs.push(PgEntry {
             writer_rank: pg.writer_rank,
             step: pg.step,
@@ -95,11 +98,18 @@ impl BpWriter {
     /// Write the footer index and close the file. Layout:
     /// `[PG blocks…][index][index_len: u64][magic: 4]`.
     pub fn finish(mut self) -> Result<FileIndex> {
+        let started = obs::enabled().then(std::time::Instant::now);
         let idx = self.index.encode();
         self.out.write_all(&idx)?;
         self.out.write_all(&(idx.len() as u64).to_le_bytes())?;
         self.out.write_all(&FILE_MAGIC)?;
         self.out.flush()?;
+        if let Some(t) = started {
+            // Footer + flush latency: the "fsync" tail of a staged write.
+            obs::global()
+                .histogram("bpio.finish_ns", &[])
+                .record(t.elapsed().as_nanos() as u64);
+        }
         self.finished = true;
         Ok(std::mem::take(&mut self.index))
     }

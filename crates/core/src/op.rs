@@ -253,14 +253,27 @@ pub fn shuffle_tagged(
 
 /// Run the post-map phases (combine → shuffle → reduce → finalize) for
 /// one operator. Shared by the staging runtime and the in-compute runner,
-/// which differ only in where `map` inputs come from.
+/// which differ only in where `map` inputs come from. Each phase runs
+/// under an obs span, so per-stage timings land in the step tables of
+/// the metrics snapshot (the paper's Fig. 7–9 breakdowns).
 pub fn complete_pipeline(op: &mut dyn StreamOp, mapped: Vec<Tagged>, ctx: &OpCtx) -> OpResult {
-    let combined = op.combine(mapped);
-    let grouped = shuffle_tagged(combined, op, ctx.comm);
-    for (tag, items) in grouped {
-        op.reduce(tag, items, ctx);
+    let step = ctx.step;
+    let combined = {
+        let _s = obs::span!("combine", step);
+        op.combine(mapped)
+    };
+    let grouped = {
+        let _s = obs::span!("shuffle", step);
+        shuffle_tagged(combined, op, ctx.comm)
+    };
+    {
+        let _s = obs::span!("reduce", step);
+        for (tag, items) in grouped {
+            op.reduce(tag, items, ctx);
+        }
     }
     ctx.comm.barrier();
+    let _s = obs::span!("finalize", step);
     op.finalize(ctx)
 }
 

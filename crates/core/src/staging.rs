@@ -75,6 +75,16 @@ pub enum StagingError {
     /// Filesystem setup failed (e.g. the output directory could not be
     /// created).
     Io(std::io::Error),
+    /// The staging thread for this rank panicked. The panic payload is
+    /// swallowed by the thread boundary; the rank identifies the culprit.
+    WorkerPanicked(usize),
+    /// The collector saw one result per chunk yet a policy-order slot was
+    /// never filled — a duplicate slot index, i.e. a pipeline bug. Names
+    /// the missing index so the report pinpoints the chunk.
+    SlotMissing {
+        index: usize,
+        n_chunks: usize,
+    },
 }
 
 impl std::fmt::Display for StagingError {
@@ -86,6 +96,16 @@ impl std::fmt::Display for StagingError {
                 write!(f, "request step skew: gathering step {expected}, got {got}")
             }
             StagingError::Io(e) => write!(f, "staging io: {e}"),
+            StagingError::WorkerPanicked(rank) => {
+                write!(f, "staging rank {rank} panicked")
+            }
+            StagingError::SlotMissing { index, n_chunks } => {
+                write!(
+                    f,
+                    "policy-order slot {index} of {n_chunks} never reported \
+                     (duplicate slot index in the pipeline)"
+                )
+            }
         }
     }
 }
@@ -222,6 +242,7 @@ impl StagingRank {
             .served_by(self.comm.rank(), self.cfg.n_compute, step);
 
         // --- Stage 2a: gather this step's requests ---
+        let gather_span = obs::span!("gather", step);
         let mut pending: Vec<FetchRequest> = Vec::with_capacity(served.len());
         let mut keep = Vec::new();
         for r in self.stashed.drain(..) {
@@ -245,8 +266,10 @@ impl StagingRank {
                 });
             }
         }
+        drop(gather_span);
 
         // --- Stage 2b: aggregate attached partial results globally ---
+        let agg_span = obs::span!("aggregate", step);
         let local: Vec<(usize, AttrList)> = pending
             .iter()
             .map(|r| (r.src_rank, r.attrs.clone()))
@@ -262,6 +285,7 @@ impl StagingRank {
         for op in &mut self.ops {
             op.initialize(&agg, &ctx);
         }
+        drop(agg_span);
 
         // --- Stage 3 + 4a: scheduled pulls, parallel decode+map ---
         //
@@ -308,15 +332,18 @@ impl StagingRank {
                                 return;
                             }
                         }
+                        let pull_span = obs::span!("pull", step);
                         match endpoint.rdma_get(req) {
                             // Blocking send parks under back-pressure and
                             // wakes with `Closed` if the step is abandoned.
                             Ok(buf) => {
+                                drop(pull_span);
                                 if work.send((idx, req.src_rank, buf)).is_err() {
                                     return;
                                 }
                             }
                             Err(e) => {
+                                pull_span.cancel();
                                 results.submit(WorkerOut::PullErr(e));
                                 return;
                             }
@@ -326,22 +353,30 @@ impl StagingRank {
                     work.close();
                 });
                 // Decode+map workers.
-                for _ in 0..n_workers {
+                for worker in 0..n_workers {
                     scope.spawn(move || {
+                        // Per-worker utilization: busy (decode+map) time
+                        // accumulates locally, flushed once at exit.
+                        let mut busy_ns = 0u64;
                         loop {
                             match work.recv(gather_timeout) {
                                 Ok((idx, src_rank, buf)) => {
                                     if cancelled.load(Ordering::Acquire) {
                                         continue; // abandoned: discard undecoded
                                     }
+                                    let decode_span = obs::span!("decode", step);
                                     let out = match PackedChunk::unpack(&buf) {
                                         Ok(chunk) => {
+                                            busy_ns += decode_span.elapsed_ns();
+                                            drop(decode_span);
                                             let bytes = buf.len() as u64;
                                             drop(buf); // chunk owns its data now
+                                            let map_span = obs::span!("map", step);
                                             let per_op = mappers
                                                 .iter()
                                                 .map(|m| m.map_chunk(&chunk, &map_ctx))
                                                 .collect();
+                                            busy_ns += map_span.elapsed_ns();
                                             WorkerOut::Mapped {
                                                 idx,
                                                 src_rank,
@@ -353,13 +388,21 @@ impl StagingRank {
                                     };
                                     results.submit(out);
                                 }
-                                Err(PollError::Closed) => return,
+                                Err(PollError::Closed) => break,
                                 Err(PollError::Timeout) => {
                                     if cancelled.load(Ordering::Acquire) {
-                                        return;
+                                        break;
                                     }
                                 }
                             }
+                        }
+                        if busy_ns > 0 {
+                            obs::global()
+                                .counter(
+                                    "staging.worker_busy_ns",
+                                    &[("worker", &worker.to_string())],
+                                )
+                                .add(busy_ns);
                         }
                     });
                 }
@@ -396,6 +439,15 @@ impl StagingRank {
                 cancelled.store(true, Ordering::Release);
                 work.close();
             });
+            // Queue-depth high-water marks: how far the puller ran ahead
+            // of the workers (work) and the workers ahead of the
+            // collector (results) this step.
+            obs::global()
+                .gauge("staging.work_queue_hwm", &[])
+                .record_max(work.high_water() as i64);
+            obs::global()
+                .gauge("staging.results_queue_hwm", &[])
+                .record_max(results.high_water() as i64);
             if let Some(e) = decode_err {
                 return Err(e);
             }
@@ -405,8 +457,10 @@ impl StagingRank {
             // Deterministic merge: slot order == policy order, so the
             // concatenated per-operator streams (and everything downstream
             // of combine) are identical for every worker count.
-            for slot in slots {
-                let (src_rank, bytes, per_op) = slot.expect("every slot reported");
+            for (index, slot) in slots.into_iter().enumerate() {
+                let Some((src_rank, bytes, per_op)) = slot else {
+                    return Err(StagingError::SlotMissing { index, n_chunks });
+                };
                 pull_order.push(src_rank);
                 bytes_pulled += bytes;
                 for (i, items) in per_op.into_iter().enumerate() {
@@ -436,10 +490,15 @@ pub type OpsFactory = dyn Fn(usize) -> Vec<Box<dyn StreamOp>> + Send + Sync;
 /// Factory signature for per-rank pull policies.
 pub type PolicyFactory = dyn Fn(usize) -> Box<dyn PullPolicy> + Send + Sync;
 
+/// What one staging rank's thread produces: its per-step reports, or
+/// the error that stopped it.
+type RankOutcome = Result<Vec<StepReport>, StagingError>;
+
 /// Orchestrates a whole staging area on threads: its own "MPI program",
 /// launched independently from the simulation (paper §IV-C).
 pub struct StagingArea {
-    handles: Vec<std::thread::JoinHandle<Result<Vec<StepReport>, StagingError>>>,
+    /// `(rank, handle)` so a panicked thread can be blamed by rank.
+    handles: Vec<(usize, std::thread::JoinHandle<RankOutcome>)>,
 }
 
 impl StagingArea {
@@ -463,26 +522,44 @@ impl StagingArea {
                 let ops = Arc::clone(&ops);
                 let policy = Arc::clone(&policy);
                 let cfg = cfg.clone();
-                std::thread::Builder::new()
+                let rank = comm.rank();
+                let handle = std::thread::Builder::new()
                     .name(format!("staging{}", endpoint.rank()))
                     .spawn(move || {
-                        let rank = comm.rank();
                         let mut sr =
                             StagingRank::new(comm, endpoint, router, policy(rank), ops(rank), cfg)?;
                         (0..n_steps).map(|s| sr.run_step(s)).collect()
                     })
-                    .expect("spawn staging thread")
+                    .expect("spawn staging thread");
+                (rank, handle)
             })
             .collect();
         StagingArea { handles }
     }
 
-    /// Wait for every staging rank; returns per-rank step reports.
+    /// Wait for every staging rank; returns per-rank step reports. A
+    /// panicking rank surfaces as [`StagingError::WorkerPanicked`] in its
+    /// report slot instead of crashing the harness; the other ranks'
+    /// results are still returned.
+    ///
+    /// On the way out, honours the obs export contract: writes a JSON
+    /// metrics snapshot when `PREDATA_METRICS` names a path, and flushes
+    /// the Chrome trace when `PREDATA_TRACE` is set.
     pub fn join(self) -> Vec<Result<Vec<StepReport>, StagingError>> {
-        self.handles
+        let reports = self
+            .handles
             .into_iter()
-            .map(|h| h.join().expect("staging rank panicked"))
-            .collect()
+            .map(|(rank, h)| h.join().unwrap_or(Err(StagingError::WorkerPanicked(rank))))
+            .collect();
+        if let Some(path) = obs::metrics_export_path() {
+            if let Err(e) = std::fs::write(&path, obs::global().snapshot().to_json()) {
+                eprintln!("warning: PREDATA_METRICS snapshot to {path:?} failed: {e}");
+            }
+        }
+        if let Err(e) = obs::trace::flush() {
+            eprintln!("warning: PREDATA_TRACE flush failed: {e}");
+        }
+        reports
     }
 }
 
@@ -614,6 +691,59 @@ mod tests {
             reports[0],
             Err(StagingError::Transport(TransportError::Timeout))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An operator that panics inside the pipeline must surface as
+    /// `WorkerPanicked(rank)` for that rank only — not crash the harness.
+    #[test]
+    fn panicking_rank_reports_worker_panicked() {
+        struct PanicOp;
+        impl crate::op::StreamOp for PanicOp {
+            fn name(&self) -> &str {
+                "panic"
+            }
+            fn initialize(&mut self, _agg: &Aggregates, _ctx: &OpCtx) {
+                panic!("operator bug");
+            }
+            fn mapper(&self) -> Arc<dyn ChunkMapper> {
+                unreachable!()
+            }
+            fn reduce(&mut self, _tag: u64, _items: Vec<Vec<u8>>, _ctx: &OpCtx) {}
+            fn finalize(&mut self, _ctx: &OpCtx) -> crate::op::OpResult {
+                crate::op::OpResult::default()
+            }
+        }
+
+        let n_compute = 2;
+        let (_fabric, computes, stagings) = Fabric::new(n_compute, 2, None);
+        let router: Arc<dyn Router> = Arc::new(BlockRouter::new(n_compute, 2));
+        let dir = out_dir("panic");
+        let area = StagingArea::spawn(
+            stagings,
+            Arc::clone(&router),
+            // Only rank 1 gets the panicking operator.
+            Arc::new(|rank| {
+                if rank == 1 {
+                    vec![Box::new(PanicOp) as Box<dyn StreamOp>]
+                } else {
+                    Vec::new()
+                }
+            }),
+            Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+            StagingConfig::new(n_compute, &dir),
+            1,
+        );
+        let clients: Vec<PredataClient> = computes
+            .into_iter()
+            .map(|e| PredataClient::new(e, Arc::clone(&router), vec![]))
+            .collect();
+        for (r, c) in clients.iter().enumerate() {
+            c.write_pg(make_particle_pg(r as u64, 0, vec![0.0; 8]))
+                .unwrap();
+        }
+        let reports = area.join();
+        assert!(matches!(reports[1], Err(StagingError::WorkerPanicked(1))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

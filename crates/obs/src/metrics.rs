@@ -1,0 +1,603 @@
+//! The lock-light metrics registry.
+//!
+//! Registration (name + labels → handle) takes a short-lived lock and
+//! allocates; it happens once per metric, at setup or per step. The hot
+//! path — [`Counter::add`], [`Gauge::set`], [`Histogram::record`] — is a
+//! handful of relaxed atomic operations on a shared handle: no locks, no
+//! allocation, safe to leave enabled in production runs.
+//!
+//! Span durations go through [`Registry::record_span`] into a per-
+//! `(stage, step)` aggregate table. Spans are coarse (per pipeline stage
+//! or per chunk, not per element), so a mutex around the table is cheap
+//! relative to the work being timed; the keys are `&'static str` stage
+//! names so recording allocates nothing after a stage's first hit.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of log₂ histogram buckets: bucket 0 holds zero values, bucket
+/// `b ≥ 1` holds values in `[2^(b-1), 2^b)`. 64 buckets cover all of
+/// `u64`, so recording never clamps.
+pub const HIST_BUCKETS: usize = 64;
+
+fn log2_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Fully-qualified metric identity: name + sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Monotonic counter handle. Clone-cheap (`Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A standalone counter not attached to any registry (e.g. per-world
+    /// traffic stats that also mirror into a registered global counter).
+    pub fn standalone() -> Self {
+        Counter::default()
+    }
+
+    pub fn add(&self, v: u64) {
+        self.cell.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Gauge handle: a current value plus its high-water mark.
+#[derive(Debug)]
+struct GaugeInner {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Default for GaugeInner {
+    fn default() -> Self {
+        GaugeInner {
+            value: AtomicI64::new(0),
+            max: AtomicI64::new(i64::MIN),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.inner.value.store(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raise the high-water mark without touching the current value —
+    /// for externally-tracked peaks (queue depth HWMs).
+    pub fn record_max(&self, v: i64) {
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`set`](Gauge::set) / [`record_max`](Gauge::record_max)
+    /// values; a never-touched gauge reports its current value.
+    pub fn max(&self) -> i64 {
+        self.inner.max.load(Ordering::Relaxed).max(self.get())
+    }
+}
+
+/// Histogram handle: fixed log₂ buckets, relaxed atomics.
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[log2_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(b, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then(|| {
+                        let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                        let hi = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                        (lo, hi, c)
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram: only populated buckets, as
+/// `(low, high, count)` inclusive ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Aggregate of one `(stage, step)` span family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// The metric store. Cheap to share (`&'static` via [`crate::global`] or
+/// per-test instances); every accessor takes `&self`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<MetricKey, Counter>>,
+    gauges: RwLock<BTreeMap<MetricKey, Gauge>>,
+    histograms: RwLock<BTreeMap<MetricKey, Histogram>>,
+    /// stage → step → aggregate. Stage keys are `&'static str`, so a
+    /// span record allocates only on a stage's first-ever hit.
+    spans: Mutex<BTreeMap<&'static str, BTreeMap<u64, SpanStat>>>,
+}
+
+macro_rules! resolve {
+    ($self:ident . $field:ident, $name:ident, $labels:ident, $ty:ty) => {{
+        let key = MetricKey::new($name, $labels);
+        if let Some(m) = $self
+            .$field
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return m.clone();
+        }
+        $self
+            .$field
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert_with(<$ty>::default)
+            .clone()
+    }};
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolve (registering on first use) a counter handle.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        resolve!(self.counters, name, labels, Counter)
+    }
+
+    /// Resolve (registering on first use) a gauge handle.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        resolve!(self.gauges, name, labels, Gauge)
+    }
+
+    /// Resolve (registering on first use) a histogram handle.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        resolve!(self.histograms, name, labels, Histogram)
+    }
+
+    /// Fold one span duration into the `(stage, step)` aggregate.
+    pub fn record_span(&self, stage: &'static str, step: u64, ns: u64) {
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stat = spans.entry(stage).or_default().entry(step).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+
+    /// Point-in-time copy of every metric and span aggregate.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, g)| (k.clone(), (g.get(), g.max())))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .flat_map(|(stage, steps)| {
+                steps
+                    .iter()
+                    .map(|(step, stat)| (stage.to_string(), *step, *stat))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+/// Point-in-time view of a whole [`Registry`], renderable as JSON.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    counters: Vec<(MetricKey, u64)>,
+    gauges: Vec<(MetricKey, (i64, i64))>,
+    histograms: Vec<(MetricKey, HistogramSnapshot)>,
+    /// `(stage, step, aggregate)`, sorted by stage then step.
+    spans: Vec<(String, u64, SpanStat)>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// `(value, high_water)` of a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<(i64, i64)> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn span(&self, stage: &str, step: u64) -> Option<SpanStat> {
+        self.spans
+            .iter()
+            .find(|(s, st, _)| s == stage && *st == step)
+            .map(|(_, _, stat)| *stat)
+    }
+
+    /// All steps that have at least one span aggregate, ascending.
+    pub fn steps(&self) -> Vec<u64> {
+        let mut steps: Vec<u64> = self.spans.iter().map(|(_, s, _)| *s).collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// `(stage, aggregate)` rows for one step, stage-sorted.
+    pub fn stages_of(&self, step: u64) -> Vec<(&str, SpanStat)> {
+        self.spans
+            .iter()
+            .filter(|(_, s, _)| *s == step)
+            .map(|(stage, _, stat)| (stage.as_str(), *stat))
+            .collect()
+    }
+
+    /// Render the snapshot as the versioned JSON schema `predata-report`
+    /// consumes (see DESIGN.md §obs):
+    ///
+    /// ```json
+    /// {"version":1,
+    ///  "counters":[{"name":"…","labels":{…},"value":0}],
+    ///  "gauges":[{"name":"…","labels":{…},"value":0,"max":0}],
+    ///  "histograms":[{"name":"…","labels":{…},"count":0,"sum":0,
+    ///                 "buckets":[[lo,hi,count]]}],
+    ///  "steps":[{"step":0,"stages":[{"stage":"pull","count":0,
+    ///            "total_ns":0,"max_ns":0}]}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"version\":1,\"counters\":[");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            out.push_str(&format!("\"value\":{v}}}"));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (k, (v, max))) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            out.push_str(&format!("\"value\":{v},\"max\":{max}}}"));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            out.push_str(&format!(
+                "\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            ));
+            for (j, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{hi},{c}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"steps\":[");
+        for (i, step) in self.steps().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"step\":{step},\"stages\":["));
+            for (j, (stage, stat)) in self.stages_of(*step).iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"stage\":{},\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                    json_str(stage),
+                    stat.count,
+                    stat.total_ns,
+                    stat.max_ns
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_key(out: &mut String, k: &MetricKey) {
+    out.push_str(&format!("{{\"name\":{},\"labels\":{{", json_str(&k.name)));
+    for (i, (lk, lv)) in k.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_str(lk), json_str(lv)));
+    }
+    out.push_str("},");
+}
+
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_partition_u64() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+        assert_eq!(log2_bucket(1024), 11);
+        assert_eq!(log2_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", &[]);
+        let b = reg.counter("hits", &[]);
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.snapshot().counter("hits", &[]), Some(3));
+    }
+
+    #[test]
+    fn labels_distinguish_metrics() {
+        let reg = Registry::new();
+        reg.counter("n", &[("stage", "pull")]).add(1);
+        reg.counter("n", &[("stage", "map")]).add(2);
+        // Label order must not matter.
+        reg.counter("m", &[("a", "1"), ("b", "2")]).add(5);
+        reg.counter("m", &[("b", "2"), ("a", "1")]).add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("n", &[("stage", "pull")]), Some(1));
+        assert_eq!(snap.counter("n", &[("stage", "map")]), Some(2));
+        assert_eq!(snap.counter("m", &[("b", "2"), ("a", "1")]), Some(10));
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", &[]);
+        g.set(3);
+        g.set(9);
+        g.set(1);
+        g.record_max(5); // below current max: no effect
+        assert_eq!(reg.snapshot().gauge("depth", &[]), Some((1, 9)));
+    }
+
+    #[test]
+    fn histogram_counts_land_in_log2_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 1007);
+        assert_eq!(
+            hs.buckets,
+            vec![(0, 0, 1), (1, 1, 2), (4, 7, 1), (512, 1023, 1)]
+        );
+    }
+
+    #[test]
+    fn span_aggregates_accumulate_per_stage_and_step() {
+        let reg = Registry::new();
+        reg.record_span("pull", 0, 100);
+        reg.record_span("pull", 0, 50);
+        reg.record_span("pull", 1, 7);
+        reg.record_span("map", 0, 9);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.span("pull", 0),
+            Some(SpanStat {
+                count: 2,
+                total_ns: 150,
+                max_ns: 100
+            })
+        );
+        assert_eq!(snap.steps(), vec![0, 1]);
+        assert_eq!(
+            snap.stages_of(1),
+            vec![("pull", snap.span("pull", 1).unwrap())]
+        );
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("c", &[("k", "v")]).add(1);
+        reg.gauge("g", &[]).set(-2);
+        reg.histogram("h", &[]).record(3);
+        reg.record_span("pull", 0, 42);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(
+            json.contains("\"counters\":[{\"name\":\"c\",\"labels\":{\"k\":\"v\"},\"value\":1}]")
+        );
+        assert!(
+            json.contains("\"gauges\":[{\"name\":\"g\",\"labels\":{},\"value\":-2,\"max\":-2}]")
+        );
+        assert!(json.contains("\"buckets\":[[2,3,1]]"));
+        assert!(json.contains(
+            "\"steps\":[{\"step\":0,\"stages\":[{\"stage\":\"pull\",\"count\":1,\"total_ns\":42,\"max_ns\":42}]}]"
+        ));
+    }
+
+    #[test]
+    fn hot_path_is_concurrent() {
+        let reg = Registry::new();
+        let c = reg.counter("n", &[]);
+        let h = reg.histogram("h", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (c, h) = (c.clone(), h.clone());
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.count(), 40_000);
+    }
+}

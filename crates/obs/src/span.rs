@@ -1,0 +1,91 @@
+//! Stage spans: scoped timers whose drop records a duration under
+//! `(stage, step)` labels and, when tracing is active, emits a
+//! Chrome-trace complete event carrying the recording thread's identity.
+
+use std::time::Instant;
+
+use crate::metrics::Registry;
+
+/// A live span. Records on drop; [`SpanGuard::cancel`] discards it
+/// (e.g. when the guarded stage was abandoned mid-way).
+pub struct SpanGuard<'r> {
+    /// `None` when span recording was disabled at creation: the guard is
+    /// inert — no timestamps taken, nothing recorded on drop.
+    live: Option<(&'r Registry, Instant)>,
+    stage: &'static str,
+    step: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Nanoseconds since the span started (0 for an inert guard).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.live
+            .map(|(_, start)| start.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Drop without recording anything.
+    pub fn cancel(mut self) {
+        self.live = None;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((registry, start)) = self.live {
+            crate::record_span(registry, self.stage, self.step, start);
+        }
+    }
+}
+
+/// Start a span in `registry`. Returns an inert guard (no timestamping,
+/// nothing recorded) when span recording is disabled — the disabled cost
+/// is one relaxed atomic load.
+pub fn span_in<'r>(registry: &'r Registry, stage: &'static str, step: u64) -> SpanGuard<'r> {
+    SpanGuard {
+        live: crate::enabled().then(|| (registry, Instant::now())),
+        stage,
+        step,
+    }
+}
+
+/// Start a span in the [global registry](crate::global).
+pub fn span(stage: &'static str, step: u64) -> SpanGuard<'static> {
+    span_in(crate::global(), stage, step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_time() {
+        let reg = Registry::new();
+        crate::set_enabled(true);
+        {
+            let g = span_in(&reg, "work", 3);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(g.elapsed_ns() > 0);
+        }
+        let stat = reg.snapshot().span("work", 3).unwrap();
+        assert_eq!(stat.count, 1);
+        assert!(stat.total_ns >= 1_000_000, "slept ≥ 1 ms: {stat:?}");
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let reg = Registry::new();
+        crate::set_enabled(false);
+        drop(span_in(&reg, "work", 0));
+        crate::set_enabled(true);
+        assert_eq!(reg.snapshot().span("work", 0), None);
+    }
+
+    #[test]
+    fn cancelled_spans_record_nothing() {
+        let reg = Registry::new();
+        crate::set_enabled(true);
+        span_in(&reg, "work", 0).cancel();
+        assert_eq!(reg.snapshot().span("work", 0), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) event collection.
+//!
+//! When active — `PREDATA_TRACE=path` in the environment, or a
+//! programmatic [`install`] — every span drop appends one *complete*
+//! event (`"ph":"X"`) to an in-memory buffer, stamped with microseconds
+//! since the process epoch and the recording thread's stable id. [`flush`] writes the buffer as a JSON array (the trace
+//! format both viewers load directly), including one metadata event per
+//! thread carrying its name.
+//!
+//! Collection is buffered rather than streamed so the per-span cost is a
+//! mutex push of a small POD — the file write happens once, at flush.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::json_str;
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: &'static str,
+    step: u64,
+    /// Microseconds since the process epoch.
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct Collector {
+    events: Vec<TraceEvent>,
+    /// `(tid, name)` of every thread that recorded at least one event.
+    threads: Vec<(u64, String)>,
+    path: Option<PathBuf>,
+}
+
+fn collector() -> &'static Mutex<Collector> {
+    static COLLECTOR: OnceLock<Mutex<Collector>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| {
+        let path = std::env::var("PREDATA_TRACE").ok().map(PathBuf::from);
+        if path.is_some() {
+            crate::TRACE_ACTIVE.store(true, Ordering::Relaxed);
+        }
+        Mutex::new(Collector {
+            events: Vec::new(),
+            threads: Vec::new(),
+            path,
+        })
+    })
+}
+
+/// Whether span drops currently emit trace events.
+pub fn active() -> bool {
+    // Touch the collector so PREDATA_TRACE is honoured on first query.
+    let _ = collector();
+    crate::TRACE_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Programmatically activate tracing to `path` (overrides any earlier
+/// destination; already-buffered events are kept).
+pub fn install(path: impl AsRef<Path>) {
+    let mut c = collector()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    c.path = Some(path.as_ref().to_path_buf());
+    crate::TRACE_ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Stable small integer id for the calling thread, assigned on first use.
+fn thread_id() -> (u64, bool) {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+            (t.get(), true)
+        } else {
+            (t.get(), false)
+        }
+    })
+}
+
+/// Append one complete event. Called from the span drop path only while
+/// [`active`]; safe (and a no-op destination-wise) otherwise.
+pub(crate) fn record_complete(stage: &'static str, step: u64, start: Instant, dur: Duration) {
+    let ts_us = start.saturating_duration_since(crate::epoch()).as_micros() as u64;
+    let (tid, fresh) = thread_id();
+    let mut c = collector()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if fresh {
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_string();
+        c.threads.push((tid, name));
+    }
+    c.events.push(TraceEvent {
+        name: stage,
+        step,
+        ts_us,
+        dur_us: dur.as_micros() as u64,
+        tid,
+    });
+}
+
+/// Number of buffered events (diagnostics/tests).
+pub fn buffered() -> usize {
+    collector()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .events
+        .len()
+}
+
+/// Render the buffered events as Chrome-trace JSON (an array of event
+/// objects — the form `chrome://tracing` and Perfetto both accept).
+pub fn render() -> String {
+    let c = collector()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = String::with_capacity(64 + c.events.len() * 96);
+    out.push('[');
+    let mut first = true;
+    for (tid, name) in &c.threads {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_str(name)
+        ));
+    }
+    for ev in &c.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"predata\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"step\":{}}}}}",
+            json_str(ev.name),
+            ev.ts_us,
+            ev.dur_us,
+            ev.tid,
+            ev.step
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Write the buffered events to the installed destination and clear the
+/// buffer. Returns the path written, or `None` when tracing is inactive.
+pub fn flush() -> std::io::Result<Option<PathBuf>> {
+    if !active() {
+        return Ok(None);
+    }
+    let json = render();
+    let path = {
+        let mut c = collector()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.events.clear();
+        c.threads.clear();
+        c.path.clone()
+    };
+    match path {
+        Some(p) => {
+            std::fs::write(&p, json)?;
+            Ok(Some(p))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_chrome_trace_json() {
+        crate::set_enabled(true);
+        install(std::env::temp_dir().join(format!("obs-trace-{}.json", std::process::id())));
+        let reg = crate::Registry::new();
+        drop(crate::span_in(&reg, "trace-stage", 2));
+        let json = render();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"trace-stage\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"args\":{\"step\":2}"));
+        assert!(json.contains("\"ph\":\"M\""), "thread metadata present");
+        let written = flush().unwrap().expect("trace destination installed");
+        let back = std::fs::read_to_string(&written).unwrap();
+        assert!(back.contains("trace-stage"));
+        std::fs::remove_file(written).ok();
+    }
+}

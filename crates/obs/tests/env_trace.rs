@@ -1,0 +1,31 @@
+//! The `PREDATA_TRACE` env path, end to end in a clean process: the
+//! *first span of the run* must initialize the collector and start
+//! recording — regression test for the flag only being honored after
+//! something else happened to touch the trace module (which left
+//! env-only runs with an empty `[]` trace file).
+
+use std::time::Duration;
+
+#[test]
+fn first_span_of_the_process_honors_predata_trace() {
+    let path = std::env::temp_dir().join(format!("obs-env-trace-{}.json", std::process::id()));
+    // Set before ANY obs call in this process: the lazy read must see it.
+    std::env::set_var("PREDATA_TRACE", &path);
+    obs::set_enabled(true);
+
+    {
+        let _g = obs::span!("env-trace-stage", 3);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        obs::trace::buffered() > 0,
+        "the first span drop must record a trace event under PREDATA_TRACE"
+    );
+
+    let written = obs::trace::flush().unwrap().expect("destination from env");
+    let text = std::fs::read_to_string(&written).unwrap();
+    assert!(text.contains("env-trace-stage"));
+    assert!(text.contains("\"ph\":\"X\""));
+    std::fs::remove_file(written).ok();
+    std::env::remove_var("PREDATA_TRACE");
+}

@@ -44,6 +44,10 @@ pub enum PollError {
 struct Inner<T> {
     queue: VecDeque<T>,
     closed: bool,
+    /// Deepest the queue has ever been — the back-pressure/utilization
+    /// signal the obs subsystem reports per pipeline queue. Updated under
+    /// the lock every push, so it costs no extra synchronization.
+    high_water: usize,
 }
 
 struct Shared<T> {
@@ -94,6 +98,7 @@ impl<T> EventQueue<T> {
                 inner: Mutex::new(Inner {
                     queue: VecDeque::new(),
                     closed: false,
+                    high_water: 0,
                 }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
@@ -128,6 +133,7 @@ impl<T> EventQueue<T> {
             }
         }
         inner.queue.push_back(ev);
+        inner.high_water = inner.high_water.max(inner.queue.len());
         drop(inner);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -145,6 +151,7 @@ impl<T> EventQueue<T> {
             }
         }
         inner.queue.push_back(ev);
+        inner.high_water = inner.high_water.max(inner.queue.len());
         drop(inner);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -212,6 +219,11 @@ impl<T> EventQueue<T> {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Deepest this queue has ever been (its depth high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.shared.lock().high_water
     }
 
     /// A clonable submission handle (e.g. one per fetcher thread).
@@ -344,6 +356,19 @@ mod tests {
         assert_eq!(q.try_poll(), Some(1));
         assert_eq!(q.try_poll(), Some(2));
         assert_eq!(q.try_poll(), None);
+    }
+
+    #[test]
+    fn high_water_tracks_deepest_fill() {
+        let q = EventQueue::unbounded();
+        assert_eq!(q.high_water(), 0);
+        for v in 0..5 {
+            q.submit(v);
+        }
+        while q.try_poll().is_some() {}
+        // Draining never lowers the mark.
+        q.submit(9);
+        assert_eq!(q.high_water(), 5);
     }
 
     #[test]

@@ -113,6 +113,11 @@ struct FabricInner {
     req_tx: Vec<Sender<FetchRequest>>,
     /// Per-compute-rank completion queues.
     comp_tx: Vec<Sender<CompletionEvent>>,
+    /// obs handles, resolved once here so the `rdma_get` hot path is a
+    /// relaxed atomic add with no registry lookup.
+    obs_get_ns: obs::Histogram,
+    obs_get_bytes: obs::Counter,
+    obs_pinned_hwm: obs::Gauge,
 }
 
 /// Factory for matched endpoint sets.
@@ -140,6 +145,9 @@ impl Fabric {
             stats: FabricStats::default(),
             req_tx,
             comp_tx,
+            obs_get_ns: obs::global().histogram("transport.rdma_get_ns", &[]),
+            obs_get_bytes: obs::global().counter("transport.rdma_get_bytes", &[]),
+            obs_pinned_hwm: obs::global().gauge("transport.pinned_bytes", &[]),
         });
         let computes = comp_rx
             .into_iter()
@@ -215,6 +223,7 @@ impl ComputeEndpoint {
         drop(reg);
         self.my_pinned.fetch_add(len, Ordering::Relaxed);
         self.inner.stats.note_pinned(global_now);
+        self.inner.obs_pinned_hwm.set(global_now as i64);
         Ok(MemHandle(h))
     }
 
@@ -291,6 +300,7 @@ impl StagingEndpoint {
     /// compute side sees a completion and may reuse its buffer) and
     /// returns the bytes.
     pub fn rdma_get(&self, req: &FetchRequest) -> Result<Arc<[u8]>, TransportError> {
+        let started = obs::enabled().then(std::time::Instant::now);
         let (buf, io_step) = {
             let mut reg = self.inner.registry.lock();
             let entry = reg
@@ -305,6 +315,10 @@ impl StagingEndpoint {
             .stats
             .bytes_pulled
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.inner.obs_get_bytes.add(buf.len() as u64);
+        if let Some(t) = started {
+            self.inner.obs_get_ns.record(t.elapsed().as_nanos() as u64);
+        }
         // Completion is best-effort: if the compute endpoint is gone the
         // data still flows (matches one-sided RDMA semantics).
         let _ = self.inner.comp_tx[req.src_rank].send(CompletionEvent {

@@ -206,7 +206,14 @@ impl RateLimitedPolicy {
 
     /// Try to spend `bytes` from the bucket; returns false (caller should
     /// defer) when the budget is exhausted.
+    ///
+    /// A request larger than the burst capacity is charged the full
+    /// burst instead: the bucket can never hold more than `burst`, so
+    /// demanding more would starve the caller forever. Draining the
+    /// whole bucket keeps the long-run rate at the configured budget
+    /// while letting oversized pulls through one refill apart.
     pub fn try_spend(&self, bytes: f64) -> bool {
+        let bytes = bytes.min(self.burst);
         let mut guard = self.tokens.lock().expect("token bucket poisoned");
         let now = std::time::Instant::now();
         let refill = now.duration_since(guard.1).as_secs_f64() * self.bytes_per_sec;
@@ -235,7 +242,7 @@ impl PullPolicy for RateLimitedPolicy {
     }
 
     fn wait_ready(&self, timeout: Duration) -> bool {
-        let probe = self.bytes_per_sec * 0.01;
+        let probe = (self.bytes_per_sec * 0.01).min(self.burst);
         if self.try_spend(probe) {
             return true;
         }
@@ -246,7 +253,11 @@ impl PullPolicy for RateLimitedPolicy {
             let deficit = (probe - guard.0).max(0.0);
             Duration::from_secs_f64(deficit / self.bytes_per_sec)
         };
-        std::thread::sleep(wait.min(timeout));
+        let parked = wait.min(timeout);
+        std::thread::sleep(parked);
+        obs::global()
+            .histogram("transport.ratelimit_wait_ns", &[])
+            .record(parked.as_nanos() as u64);
         self.try_spend(probe)
     }
 }
@@ -335,6 +346,47 @@ mod tests {
         assert!(p.wait_ready(Duration::from_secs(10)));
         assert!(start.elapsed() < Duration::from_secs(5));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn rate_limiter_zero_byte_requests_always_pass() {
+        let p = RateLimitedPolicy::new(1e6, 10e3);
+        // Even with the bucket fully drained, a zero-byte request costs
+        // nothing and must never be deferred.
+        while p.try_spend(1e3) {}
+        for _ in 0..100 {
+            assert!(p.try_spend(0.0), "zero-byte spend deferred");
+        }
+    }
+
+    #[test]
+    fn rate_limiter_oversized_request_drains_burst_not_starves() {
+        let p = RateLimitedPolicy::new(1e9, 1e3);
+        // A single request larger than the whole burst capacity: charged
+        // the full burst (the most the bucket can ever hold), not
+        // deferred forever.
+        assert!(p.try_spend(1e6), "oversized request starves");
+        // The bucket is now empty — an immediate second oversized
+        // request defers until refill.
+        assert!(!p.try_spend(1e6));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(p.try_spend(1e6), "bucket refilled after one burst time");
+    }
+
+    #[test]
+    fn rate_limiter_wait_ready_never_parks_forever_on_uncoverable_probe() {
+        // Probe = 1% of rate = 100 KB but burst is only 1 KB: without
+        // clamping, wait_ready could compute an unbounded deficit and
+        // never succeed. With the clamp it must come back ready well
+        // within the timeout.
+        let p = RateLimitedPolicy::new(1e7, 1e3);
+        while p.try_spend(1e3) {}
+        let start = Instant::now();
+        assert!(
+            p.wait_ready(Duration::from_secs(5)),
+            "wait_ready starved by probe > burst"
+        );
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub use bpio;
 pub use dataspaces;
 pub use ffs;
 pub use minimpi;
+pub use obs;
 pub use predata_core as core;
 pub use simhec;
 pub use transport;

@@ -1,0 +1,178 @@
+//! End-to-end observability: a 2-compute / 1-staging run must leave a
+//! complete paper-style record behind — per-stage span totals in the
+//! metrics snapshot (the Fig. 7–9 breakdown inputs), a JSON export that
+//! round-trips through the `predata-report` schema, and a Chrome-trace
+//! file that `chrome://tracing` / Perfetto can load.
+//!
+//! Uses the programmatic overrides (`obs::set_enabled`,
+//! `obs::trace::install`) rather than `PREDATA_METRICS` /
+//! `PREDATA_TRACE` so the test is immune to environment races; the env
+//! path is covered by unit tests in the `obs` crate.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use predata::core::op::StreamOp;
+use predata::core::ops::{HistogramOp, MomentsOp, SortOp};
+use predata::core::schema::make_particle_pg;
+use predata::core::{PredataClient, StagingArea, StagingConfig};
+use predata::transport::{BlockRouter, Fabric, FifoPolicy, PullPolicy, Router};
+
+const N_COMPUTE: usize = 2;
+const N_STAGING: usize = 1;
+const N_STEPS: u64 = 2;
+const ROWS_PER_DUMP: usize = 256;
+
+fn dump(rank: u64, step: u64) -> Vec<f64> {
+    let mut s = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(step) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut rows = Vec::with_capacity(ROWS_PER_DUMP * 8);
+    for id in 0..ROWS_PER_DUMP as u64 {
+        for _ in 0..6 {
+            rows.push(next() * 16.0 - 8.0);
+        }
+        rows.push(rank as f64);
+        rows.push(id as f64);
+    }
+    rows
+}
+
+fn make_ops() -> Vec<Box<dyn StreamOp>> {
+    vec![
+        Box::new(HistogramOp::new(vec![0, 5], 16)),
+        Box::new(MomentsOp::new(vec![0, 1, 2])),
+        Box::new(SortOp::new()), // writes bp output → exercises the bpio counters
+    ]
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("obs-pipe-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn pipeline_emits_snapshot_and_perfetto_trace() {
+    predata::obs::set_enabled(true);
+    let trace_path = scratch("trace").join("trace.json");
+    predata::obs::trace::install(&trace_path);
+
+    let out_dir = scratch("out");
+    let (_fabric, computes, stagings) = Fabric::new(N_COMPUTE, N_STAGING, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(N_COMPUTE, N_STAGING));
+
+    let clients: Vec<PredataClient> = computes
+        .into_iter()
+        .map(|e| {
+            PredataClient::new(
+                e,
+                Arc::clone(&router),
+                vec![
+                    Arc::new(HistogramOp::new(vec![0, 5], 16)),
+                    Arc::new(SortOp::new()),
+                ],
+            )
+        })
+        .collect();
+    for step in 0..N_STEPS {
+        for (r, c) in clients.iter().enumerate() {
+            c.write_pg(make_particle_pg(r as u64, step, dump(r as u64, step)))
+                .unwrap();
+        }
+    }
+
+    let area = StagingArea::spawn(
+        stagings,
+        router,
+        Arc::new(|_| make_ops()),
+        Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+        StagingConfig::new(N_COMPUTE, &out_dir),
+        N_STEPS,
+    );
+    for rank_reports in area.join() {
+        rank_reports.expect("staging rank succeeds");
+    }
+
+    // 1. The snapshot carries nonzero pull/decode/map/reduce span totals
+    //    for every step — the raw material of the paper's breakdowns.
+    let snap = predata::obs::global().snapshot();
+    for step in 0..N_STEPS {
+        for stage in ["pull", "decode", "map", "reduce"] {
+            let stat = snap
+                .span(stage, step)
+                .unwrap_or_else(|| panic!("span `{stage}` missing for step {step}"));
+            assert!(stat.count > 0, "span `{stage}` step {step} has zero count");
+            assert!(
+                stat.total_ns > 0,
+                "span `{stage}` step {step} has zero total time"
+            );
+        }
+    }
+
+    // 2. Transport and writer counters saw real traffic.
+    assert!(snap.counter("transport.rdma_get_bytes", &[]).unwrap_or(0) > 0);
+    assert!(snap.counter("bpio.bytes_written", &[]).unwrap_or(0) > 0);
+
+    // 3. The JSON export parses and matches the predata-report schema.
+    let json = snap.to_json();
+    let snap_path = out_dir.join("snapshot.json");
+    std::fs::write(&snap_path, &json).unwrap();
+    let root = serde_json::from_str(&json).expect("snapshot JSON parses");
+    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(1));
+    let steps = root
+        .get("steps")
+        .and_then(|v| v.as_array())
+        .expect("steps array");
+    assert_eq!(steps.len() as u64, N_STEPS);
+    let stage_names: Vec<&str> = steps[0]
+        .get("stages")
+        .and_then(|v| v.as_array())
+        .expect("stages array")
+        .iter()
+        .filter_map(|s| s.get("stage").and_then(|v| v.as_str()))
+        .collect();
+    for want in ["pull", "decode", "map", "reduce", "finalize"] {
+        assert!(stage_names.contains(&want), "step 0 missing stage {want}");
+    }
+
+    // 4. join() flushed the Chrome trace; the file must be valid trace
+    //    JSON — an array of "X" complete events (with ts/dur/pid/tid)
+    //    plus "M" thread-name metadata — which Perfetto loads directly.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written at join");
+    let trace = serde_json::from_str(&trace_text).expect("trace JSON parses");
+    let events = trace.as_array().expect("trace is a JSON array");
+    assert!(!events.is_empty(), "trace has events");
+    let mut complete = 0;
+    let mut metadata = 0;
+    for ev in events {
+        match ev.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => {
+                complete += 1;
+                assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+                assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some());
+                assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some());
+                assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some());
+                assert!(ev.get("tid").and_then(|v| v.as_u64()).is_some());
+            }
+            Some("M") => metadata += 1,
+            other => panic!("unexpected trace event phase {other:?}"),
+        }
+    }
+    assert!(complete > 0, "trace contains complete events");
+    assert!(metadata > 0, "trace names its threads");
+    let named: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    for want in ["pull", "decode", "map"] {
+        assert!(named.contains(&want), "trace missing `{want}` events");
+    }
+
+    std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
