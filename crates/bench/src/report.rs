@@ -1,10 +1,14 @@
 //! Rendering of `obs` JSON snapshots into paper-style timing tables.
 //!
 //! The input is the schema produced by [`obs::Snapshot::to_json`]
-//! (`version: 1`): counters, gauges, log₂ histograms, and per-step span
-//! aggregates. The output mirrors the stage-breakdown tables of the
-//! paper's Fig. 7–9: one row per I/O step, one column per pipeline
-//! stage, plus summary sections for the raw metrics.
+//! (version 2, with version-1 files still accepted — the exporter's
+//! versioning policy is additive sections, readers take N and N−1):
+//! counters, gauges, log₂ histograms, per-step span aggregates, and —
+//! when the run had `PREDATA_LINEAGE` on — per-chunk lineage records
+//! and per-step perturbation stats. The output mirrors the
+//! stage-breakdown tables of the paper's Fig. 7–9, plus a per-chunk
+//! critical-path view, a straggler table, and the paper §5-style
+//! perturbation summary.
 //!
 //! Used by the `predata-report` binary and by the schema-drift smoke
 //! test, so any change to the exporter's JSON shape fails the build
@@ -284,6 +288,210 @@ fn render_histograms(root: &Value, out: &mut String) -> Result<(), String> {
     Ok(())
 }
 
+/// One recorded stage transition of one chunk (v2 `lineage` section).
+struct LineageEvent {
+    stage: String,
+    at_ns: u64,
+    wait_ns: Option<u64>,
+}
+
+/// One chunk's lineage record.
+struct LineageChunk {
+    src: u64,
+    step: u64,
+    truncated: bool,
+    events: Vec<LineageEvent>,
+}
+
+impl LineageChunk {
+    /// First-to-last recorded timestamp: the chunk's end-to-end latency.
+    fn total_ns(&self) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at_ns.saturating_sub(a.at_ns),
+            _ => 0,
+        }
+    }
+
+    /// The consecutive-event transition with the largest delta:
+    /// `(from, to, ns)`.
+    fn dominant_gap(&self) -> Option<(&str, &str, u64)> {
+        self.events
+            .windows(2)
+            .map(|w| {
+                (
+                    w[0].stage.as_str(),
+                    w[1].stage.as_str(),
+                    w[1].at_ns.saturating_sub(w[0].at_ns),
+                )
+            })
+            .max_by_key(|(_, _, ns)| *ns)
+    }
+}
+
+/// Parse the optional v2 `lineage` section (empty for v1 snapshots).
+fn parse_lineage(root: &Value) -> Result<Vec<LineageChunk>, String> {
+    let Some(section) = root.get("lineage") else {
+        return Ok(Vec::new());
+    };
+    let mut chunks = Vec::new();
+    for c in section
+        .as_array()
+        .ok_or("snapshot root: `lineage` is not an array")?
+    {
+        let mut events = Vec::new();
+        for e in require(c, "events", "lineage[]")?
+            .as_array()
+            .ok_or("snapshot lineage[]: `events` is not an array")?
+        {
+            events.push(LineageEvent {
+                stage: require(e, "stage", "lineage[].events[]")?
+                    .as_str()
+                    .ok_or("snapshot lineage[].events[]: `stage` is not a string")?
+                    .to_string(),
+                at_ns: require_u64(e, "at_ns", "lineage[].events[]")?,
+                wait_ns: e.get("wait_ns").and_then(Value::as_u64),
+            });
+        }
+        chunks.push(LineageChunk {
+            src: require_u64(c, "src", "lineage[]")?,
+            step: require_u64(c, "step", "lineage[]")?,
+            truncated: require(c, "truncated", "lineage[]")?
+                .as_bool()
+                .ok_or("snapshot lineage[]: `truncated` is not a bool")?,
+            events,
+        });
+    }
+    Ok(chunks)
+}
+
+/// Per-chunk critical path: end-to-end latency and dominant transition
+/// per chunk, plus the full timeline of the slowest chunk.
+fn render_critical_path(chunks: &[LineageChunk], out: &mut String) {
+    out.push_str("\n=== per-chunk critical path ===\n");
+    if chunks.is_empty() {
+        out.push_str("(no lineage records — run with PREDATA_LINEAGE=1)\n");
+        return;
+    }
+    out.push_str(&format!(
+        "{:>6} {:>6} {:>12}  {}\n",
+        "step", "src", "total", "dominant transition"
+    ));
+    for c in chunks {
+        let (dom, flag) = match c.dominant_gap() {
+            Some((from, to, ns)) => (format!("{from} -> {to} ({})", fmt_ns(ns)), ""),
+            None => ("-".to_string(), ""),
+        };
+        let marker = if c.truncated { " [truncated]" } else { flag };
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>12}  {dom}{marker}\n",
+            c.step,
+            c.src,
+            fmt_ns(c.total_ns()),
+        ));
+    }
+    if let Some(slowest) = chunks.iter().max_by_key(|c| c.total_ns()) {
+        out.push_str(&format!(
+            "\nslowest chunk (src {}, step {}) timeline:\n",
+            slowest.src, slowest.step
+        ));
+        let t0 = slowest.events.first().map(|e| e.at_ns).unwrap_or(0);
+        for e in &slowest.events {
+            let wait = e
+                .wait_ns
+                .map(|w| format!("  (waited {})", fmt_ns(w)))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  +{:>10}  {}{wait}\n",
+                fmt_ns(e.at_ns.saturating_sub(t0)),
+                e.stage
+            ));
+        }
+    }
+}
+
+/// Straggler table: the slowest `k` chunks of every step and the stage
+/// transition that dominated each.
+fn render_stragglers(chunks: &[LineageChunk], k: usize, out: &mut String) {
+    out.push_str(&format!(
+        "\n=== stragglers (slowest {k} chunks per step) ===\n"
+    ));
+    if chunks.is_empty() {
+        out.push_str("(no lineage records — run with PREDATA_LINEAGE=1)\n");
+        return;
+    }
+    let mut steps: Vec<u64> = chunks.iter().map(|c| c.step).collect();
+    steps.sort_unstable();
+    steps.dedup();
+    out.push_str(&format!(
+        "{:>6} {:>6} {:>12}  {}\n",
+        "step", "src", "total", "dominating stage"
+    ));
+    for step in steps {
+        let mut of_step: Vec<&LineageChunk> = chunks.iter().filter(|c| c.step == step).collect();
+        of_step.sort_by_key(|c| std::cmp::Reverse(c.total_ns()));
+        for c in of_step.into_iter().take(k) {
+            let dom = match c.dominant_gap() {
+                Some((from, to, ns)) => format!("{from} -> {to} ({})", fmt_ns(ns)),
+                None => "-".to_string(),
+            };
+            let marker = if c.truncated { " [truncated]" } else { "" };
+            out.push_str(&format!(
+                "{:>6} {:>6} {:>12}  {dom}{marker}\n",
+                c.step,
+                c.src,
+                fmt_ns(c.total_ns()),
+            ));
+        }
+    }
+}
+
+/// Per-step perturbation summary (the paper's §5 In-Compute-Node vs
+/// staged comparison): simulation compute time, blocked-in-output time,
+/// and the transport activity concurrent with each step.
+fn render_perturb(root: &Value, out: &mut String) -> Result<(), String> {
+    out.push_str("\n=== per-step perturbation ===\n");
+    let Some(section) = root.get("perturb") else {
+        out.push_str("(version 1 snapshot — no perturbation section)\n");
+        return Ok(());
+    };
+    let rows = section
+        .as_array()
+        .ok_or("snapshot root: `perturb` is not an array")?;
+    if rows.is_empty() {
+        out.push_str("(no perturbation records — run with PREDATA_LINEAGE=1)\n");
+        return Ok(());
+    }
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>12} {:>9} {:>14} {:>7}\n",
+        "step", "compute", "blocked", "blocked%", "pulled bytes", "pulls"
+    ));
+    for r in rows {
+        let step = require_u64(r, "step", "perturb[]")?;
+        let compute = require_u64(r, "compute_ns", "perturb[]")?;
+        let blocked = require_u64(r, "blocked_ns", "perturb[]")?;
+        let pull_bytes = require_u64(r, "pull_bytes", "perturb[]")?;
+        let pulls = require_u64(r, "pulls", "perturb[]")?;
+        let pct = if compute + blocked > 0 {
+            format!(
+                "{:.2}%",
+                blocked as f64 / (compute + blocked) as f64 * 100.0
+            )
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{:>6} {:>12} {:>12} {:>9} {:>14} {:>7}\n",
+            step,
+            fmt_ns(compute),
+            fmt_ns(blocked),
+            pct,
+            pull_bytes,
+            pulls
+        ));
+    }
+    Ok(())
+}
+
 /// Render a full snapshot (already parsed) into the report text.
 ///
 /// Fails with a descriptive message on any schema mismatch — the
@@ -291,15 +499,19 @@ fn render_histograms(root: &Value, out: &mut String) -> Result<(), String> {
 /// sample so exporter drift is caught at build time.
 pub fn render_snapshot(root: &Value) -> Result<String, String> {
     let version = require_u64(root, "version", "root")?;
-    if version != 1 {
+    if !(1..=2).contains(&version) {
         return Err(format!(
-            "unsupported snapshot version {version} (expected 1)"
+            "unsupported snapshot version {version} (expected 1 or 2)"
         ));
     }
     let cells = parse_steps(root)?;
+    let lineage = parse_lineage(root)?;
     let mut out = String::new();
     render_step_table(&cells, &mut out);
     render_stage_summary(&cells, &mut out);
+    render_critical_path(&lineage, &mut out);
+    render_stragglers(&lineage, 3, &mut out);
+    render_perturb(root, &mut out)?;
     render_counters(root, &mut out)?;
     render_gauges(root, &mut out)?;
     render_histograms(root, &mut out)?;
@@ -350,10 +562,46 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let err = render_snapshot_str(
-            r#"{"version":2,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#,
+            r#"{"version":99,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#,
         )
         .unwrap_err();
         assert!(err.contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn renders_lineage_and_perturb_views_from_a_live_registry() {
+        use obs::lineage::Stage;
+        let reg = obs::Registry::new();
+        // Chunk (src 0, step 0): complete pipeline (timestamps are
+        // stamped by record_mark's own monotonic clock).
+        for stage in Stage::PIPELINE {
+            let _ = reg.lineage().record_mark(0, 0, stage, Some(64), None, true);
+        }
+        // Chunk (src 1, step 0): truncated after routing.
+        let _ = reg
+            .lineage()
+            .record_mark(1, 0, Stage::Packed, Some(64), None, true);
+        let _ = reg
+            .lineage()
+            .record_mark(1, 0, Stage::Truncated, None, None, true);
+        let json = reg.snapshot().to_json();
+        let report = render_snapshot_str(&json).expect("v2 snapshot must render");
+        assert!(report.contains("per-chunk critical path"), "got: {report}");
+        assert!(report.contains("stragglers"), "got: {report}");
+        assert!(report.contains("[truncated]"), "got: {report}");
+        assert!(report.contains("per-step perturbation"), "got: {report}");
+    }
+
+    #[test]
+    fn v1_snapshots_without_lineage_still_render() {
+        // Version-1 files predate the lineage/perturb sections; the
+        // reader accepts N and N-1 per the exporter's versioning policy.
+        let report = render_snapshot_str(
+            r#"{"version":1,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#,
+        )
+        .expect("v1 snapshot must render");
+        assert!(report.contains("no lineage records"), "got: {report}");
+        assert!(report.contains("version 1 snapshot"), "got: {report}");
     }
 
     #[test]

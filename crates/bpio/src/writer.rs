@@ -70,6 +70,10 @@ impl BpWriter {
         obs::global()
             .counter("bpio.bytes_written", &[])
             .add(block.len() as u64);
+        // Record-if-tracked: for per-chunk outputs `writer_rank` names a
+        // source chunk and closes its lineage; merged outputs are keyed
+        // by the staging rank, which must not invent a phantom chunk.
+        obs::lineage::record_write(pg.writer_rank, pg.step, block.len() as u64);
         self.index.pgs.push(PgEntry {
             writer_rank: pg.writer_rank,
             step: pg.step,

@@ -88,8 +88,15 @@ impl PredataClient {
     /// Asynchronous output of one process group: runs the compute-side
     /// passes, packs, exposes, routes, requests. Does not wait for the
     /// pull.
+    ///
+    /// The whole call is the simulation's blocked-in-output window: under
+    /// `PREDATA_LINEAGE` its duration feeds the perturbation monitor, and
+    /// the pack/route/request hand-offs open the chunk's lineage record.
+    /// (`wait_drained` is not attributed — it spans steps.)
     pub fn write_pg(&self, pg: ProcessGroup) -> Result<WriteReceipt, ClientError> {
         let step = pg.step;
+        let src = self.rank() as u64;
+        let call_started = obs::lineage::enabled().then(std::time::Instant::now);
         // Stage 1a: optional local first pass; results ride the request.
         let mut attrs = AttrList::new();
         for op in &self.ops {
@@ -99,9 +106,11 @@ impl PredataClient {
         let chunk = PackedChunk::new(pg);
         let buf: Arc<[u8]> = chunk.pack()?.into();
         let bytes = buf.len();
+        obs::lineage::record_bytes(src, step, obs::lineage::Stage::Packed, bytes as u64);
         // Stage 1c: expose + route + request.
         let handle = self.endpoint.expose(buf, step)?;
         let staging_rank = self.router.route(self.rank(), step);
+        obs::lineage::record(src, step, obs::lineage::Stage::Routed);
         self.endpoint.send_request(
             staging_rank,
             FetchRequest {
@@ -113,7 +122,11 @@ impl PredataClient {
                 attrs,
             },
         )?;
+        obs::lineage::record(src, step, obs::lineage::Stage::RequestSent);
         self.outstanding.set(self.outstanding.get() + 1);
+        if let Some(started) = call_started {
+            obs::perturb::record_blocked(step, started.elapsed());
+        }
         Ok(WriteReceipt {
             staging_rank,
             bytes,

@@ -257,6 +257,21 @@ pub fn shuffle_tagged(
 /// under an obs span, so per-stage timings land in the step tables of
 /// the metrics snapshot (the paper's Fig. 7–9 breakdowns).
 pub fn complete_pipeline(op: &mut dyn StreamOp, mapped: Vec<Tagged>, ctx: &OpCtx) -> OpResult {
+    complete_pipeline_traced(op, mapped, ctx, &[])
+}
+
+/// [`complete_pipeline`] that also stamps each source chunk's `shuffled`
+/// and `reduced` lineage transitions as the phases complete. `chunk_srcs`
+/// are the compute ranks whose chunks fed `mapped` (the staging runtime
+/// passes its pull order); per-stage slots are first-write-wins, so when
+/// several operators run, the first operator's phases — the earliest
+/// moment the chunk's data crossed that boundary — set the timestamps.
+pub fn complete_pipeline_traced(
+    op: &mut dyn StreamOp,
+    mapped: Vec<Tagged>,
+    ctx: &OpCtx,
+    chunk_srcs: &[usize],
+) -> OpResult {
     let step = ctx.step;
     let combined = {
         let _s = obs::span!("combine", step);
@@ -266,10 +281,20 @@ pub fn complete_pipeline(op: &mut dyn StreamOp, mapped: Vec<Tagged>, ctx: &OpCtx
         let _s = obs::span!("shuffle", step);
         shuffle_tagged(combined, op, ctx.comm)
     };
+    if obs::lineage::enabled() {
+        for &src in chunk_srcs {
+            obs::lineage::record(src as u64, step, obs::lineage::Stage::Shuffled);
+        }
+    }
     {
         let _s = obs::span!("reduce", step);
         for (tag, items) in grouped {
             op.reduce(tag, items, ctx);
+        }
+    }
+    if obs::lineage::enabled() {
+        for &src in chunk_srcs {
+            obs::lineage::record(src as u64, step, obs::lineage::Stage::Reduced);
         }
     }
     ctx.comm.barrier();

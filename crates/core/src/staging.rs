@@ -49,7 +49,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use transport::evq::{EventQueue, PollError};
 
@@ -59,7 +59,16 @@ use transport::{FetchRequest, PullPolicy, Router, StagingEndpoint, TransportErro
 
 use crate::agg::Aggregates;
 use crate::chunk::{ChunkError, PackedChunk};
-use crate::op::{complete_pipeline, ChunkMapper, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{complete_pipeline_traced, ChunkMapper, OpCtx, OpResult, StreamOp, Tagged};
+
+/// Mark every chunk of an abandoned step explicitly truncated, so a
+/// failed/timed-out step leaves terminal lineage records rather than
+/// dangling entries. No-op unless lineage recording is on.
+fn truncate_lineage(requests: &[FetchRequest], step: u64) {
+    for r in requests {
+        obs::lineage::truncate(r.src_rank as u64, step);
+    }
+}
 
 /// Staging-side failures.
 #[derive(Debug)]
@@ -254,12 +263,19 @@ impl StagingRank {
         }
         self.stashed = keep;
         while pending.len() < served.len() {
-            let r = self.endpoint.recv_request(self.cfg.gather_timeout)?;
+            let r = match self.endpoint.recv_request(self.cfg.gather_timeout) {
+                Ok(r) => r,
+                Err(e) => {
+                    truncate_lineage(&pending, step);
+                    return Err(e.into());
+                }
+            };
             if r.io_step == step {
                 pending.push(r);
             } else if r.io_step > step {
                 self.stashed.push(r);
             } else {
+                truncate_lineage(&pending, step);
                 return Err(StagingError::StepSkew {
                     expected: step,
                     got: r.io_step,
@@ -327,10 +343,22 @@ impl StagingRank {
                     for (idx, req) in pending.iter().enumerate() {
                         // Condvar/deadline park inside the policy; the
                         // short tick only bounds cancellation latency.
+                        let wait_started = obs::lineage::enabled().then(Instant::now);
                         while !policy.wait_ready(Duration::from_millis(25)) {
                             if cancelled.load(Ordering::Acquire) {
                                 return;
                             }
+                        }
+                        // The policy deferral is the chunk's scheduling
+                        // wait — the rate/phase control the paper bounds
+                        // interference with.
+                        if let Some(t) = wait_started {
+                            obs::lineage::record_wait(
+                                req.src_rank as u64,
+                                step,
+                                obs::lineage::Stage::PullScheduled,
+                                t.elapsed().as_nanos() as u64,
+                            );
                         }
                         let pull_span = obs::span!("pull", step);
                         match endpoint.rdma_get(req) {
@@ -359,8 +387,8 @@ impl StagingRank {
                         // accumulates locally, flushed once at exit.
                         let mut busy_ns = 0u64;
                         loop {
-                            match work.recv(gather_timeout) {
-                                Ok((idx, src_rank, buf)) => {
+                            match work.recv_waited(gather_timeout) {
+                                Ok(((idx, src_rank, buf), queued)) => {
                                     if cancelled.load(Ordering::Acquire) {
                                         continue; // abandoned: discard undecoded
                                     }
@@ -371,12 +399,25 @@ impl StagingRank {
                                             drop(decode_span);
                                             let bytes = buf.len() as u64;
                                             drop(buf); // chunk owns its data now
+                                                       // `queued` is how long the pulled
+                                                       // bytes sat awaiting a worker.
+                                            obs::lineage::record_wait(
+                                                src_rank as u64,
+                                                step,
+                                                obs::lineage::Stage::Decoded,
+                                                queued.as_nanos() as u64,
+                                            );
                                             let map_span = obs::span!("map", step);
                                             let per_op = mappers
                                                 .iter()
                                                 .map(|m| m.map_chunk(&chunk, &map_ctx))
                                                 .collect();
                                             busy_ns += map_span.elapsed_ns();
+                                            obs::lineage::record(
+                                                src_rank as u64,
+                                                step,
+                                                obs::lineage::Stage::Mapped,
+                                            );
                                             WorkerOut::Mapped {
                                                 idx,
                                                 src_rank,
@@ -449,9 +490,11 @@ impl StagingRank {
                 .gauge("staging.results_queue_hwm", &[])
                 .record_max(results.high_water() as i64);
             if let Some(e) = decode_err {
+                truncate_lineage(&pending, step);
                 return Err(e);
             }
             if let Some(e) = pull_err {
+                truncate_lineage(&pending, step);
                 return Err(StagingError::Transport(e));
             }
             // Deterministic merge: slot order == policy order, so the
@@ -459,6 +502,7 @@ impl StagingRank {
             // of combine) are identical for every worker count.
             for (index, slot) in slots.into_iter().enumerate() {
                 let Some((src_rank, bytes, per_op)) = slot else {
+                    truncate_lineage(&pending, step);
                     return Err(StagingError::SlotMissing { index, n_chunks });
                 };
                 pull_order.push(src_rank);
@@ -472,7 +516,18 @@ impl StagingRank {
         // --- Stage 4b: combine / shuffle / reduce / finalize per op ---
         let mut results = Vec::with_capacity(self.ops.len());
         for (op, m) in self.ops.iter_mut().zip(mapped) {
-            results.push(complete_pipeline(op.as_mut(), m, &ctx));
+            results.push(complete_pipeline_traced(op.as_mut(), m, &ctx, &pull_order));
+        }
+        // Lineage catch-all: the first operator's in-phase marks win
+        // (first-write-wins); this closes every record even for op-less
+        // runs, and `written` here means "the step's outputs — including
+        // any merged bp files keyed by staging rank — are committed".
+        if obs::lineage::enabled() {
+            for &src in &pull_order {
+                obs::lineage::record(src as u64, step, obs::lineage::Stage::Shuffled);
+                obs::lineage::record(src as u64, step, obs::lineage::Stage::Reduced);
+                obs::lineage::record(src as u64, step, obs::lineage::Stage::Written);
+            }
         }
 
         Ok(StepReport {

@@ -34,9 +34,15 @@
 //! * `PREDATA_TRACE=path` — enables the Chrome-trace collector; the
 //!   middleware flushes the event stream to `path` on shutdown (or call
 //!   [`trace::flush`] yourself).
+//! * `PREDATA_LINEAGE` — off by default; any value other than ``""`` /
+//!   `0` / `off` / `false` enables the per-chunk [`lineage`] log and the
+//!   [`perturb`]ation monitor. Their records ride the same snapshot
+//!   (schema version 2) and, when tracing is on, appear as per-chunk
+//!   flow arrows in the Chrome trace.
 //!
-//! Both variables are read once, lazily; tests use the programmatic
-//! overrides ([`set_enabled`], [`trace::install`]) instead of the
+//! All variables are read once, lazily; tests use the programmatic
+//! overrides ([`set_enabled`], [`set_metrics_export_path`],
+//! [`lineage::set_enabled`], [`trace::install`]) instead of the
 //! process environment.
 //!
 //! # Example
@@ -54,7 +60,9 @@
 //! assert!(snap.to_json().contains("\"decode\""));
 //! ```
 
+pub mod lineage;
 mod metrics;
+pub mod perturb;
 mod span;
 pub mod trace;
 
@@ -64,7 +72,7 @@ pub use metrics::{
 pub use span::{span, span_in, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// The process-wide registry every instrumented crate records into, so
@@ -111,9 +119,34 @@ pub fn set_enabled(on: bool) {
     ENABLED_OVERRIDE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
-/// The snapshot auto-export path: `PREDATA_METRICS` when it holds a
-/// path rather than an on/off word.
+/// Programmatic override for [`metrics_export_path`]. `PREDATA_METRICS`
+/// does double duty (span toggle *and* export path) and is cached in a
+/// `OnceLock`, so tests that need different export behaviour can't race
+/// on the process-global environment — they set an explicit override
+/// instead: `Some(path)` forces auto-export there, `None` disables
+/// auto-export. The override wins over the environment until replaced.
+pub fn set_metrics_export_path(path: Option<std::path::PathBuf>) {
+    *export_override()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(path);
+}
+
+fn export_override() -> &'static Mutex<Option<Option<std::path::PathBuf>>> {
+    static OVERRIDE: OnceLock<Mutex<Option<Option<std::path::PathBuf>>>> = OnceLock::new();
+    OVERRIDE.get_or_init(|| Mutex::new(None))
+}
+
+/// The snapshot auto-export path: the [`set_metrics_export_path`]
+/// override when one is installed, else `PREDATA_METRICS` when it holds
+/// a path rather than an on/off word.
 pub fn metrics_export_path() -> Option<std::path::PathBuf> {
+    if let Some(overridden) = export_override()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_ref()
+    {
+        return overridden.clone();
+    }
     static PATH: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
     PATH.get_or_init(|| match std::env::var("PREDATA_METRICS") {
         Ok(v) if !matches!(v.as_str(), "" | "0" | "1" | "on" | "off" | "true" | "false") => {
@@ -157,6 +190,15 @@ mod tests {
         assert!(!enabled());
         set_enabled(true);
         assert!(enabled());
+    }
+
+    #[test]
+    fn export_path_override_wins_over_env() {
+        let p = std::path::PathBuf::from("/tmp/override-snapshot.json");
+        set_metrics_export_path(Some(p.clone()));
+        assert_eq!(metrics_export_path(), Some(p));
+        set_metrics_export_path(None);
+        assert_eq!(metrics_export_path(), None);
     }
 
     #[test]

@@ -211,6 +211,12 @@ pub struct Registry {
     /// stage → step → aggregate. Stage keys are `&'static str`, so a
     /// span record allocates only on a stage's first-ever hit.
     spans: Mutex<BTreeMap<&'static str, BTreeMap<u64, SpanStat>>>,
+    /// Per-chunk stage transitions (populated only under
+    /// `PREDATA_LINEAGE`; see [`crate::lineage`]).
+    lineage: crate::lineage::LineageLog,
+    /// Per-step simulation perturbation stats (same gate; see
+    /// [`crate::perturb`]).
+    perturb: crate::perturb::PerturbTable,
 }
 
 macro_rules! resolve {
@@ -252,6 +258,16 @@ impl Registry {
     /// Resolve (registering on first use) a histogram handle.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         resolve!(self.histograms, name, labels, Histogram)
+    }
+
+    /// The per-chunk lineage log owned by this registry.
+    pub fn lineage(&self) -> &crate::lineage::LineageLog {
+        &self.lineage
+    }
+
+    /// The per-step perturbation table owned by this registry.
+    pub fn perturb(&self) -> &crate::perturb::PerturbTable {
+        &self.perturb
     }
 
     /// Fold one span duration into the `(stage, step)` aggregate.
@@ -306,6 +322,8 @@ impl Registry {
             gauges,
             histograms,
             spans,
+            lineage: self.lineage.snapshot(),
+            perturb: self.perturb.snapshot(),
         }
     }
 }
@@ -318,6 +336,11 @@ pub struct Snapshot {
     histograms: Vec<(MetricKey, HistogramSnapshot)>,
     /// `(stage, step, aggregate)`, sorted by stage then step.
     spans: Vec<(String, u64, SpanStat)>,
+    /// Per-chunk lineage records, sorted by `(step, src_rank)`. Empty
+    /// unless `PREDATA_LINEAGE` was on.
+    lineage: Vec<crate::lineage::ChunkLineage>,
+    /// `(step, stat)` perturbation rows, step-sorted. Same gate.
+    perturb: Vec<(u64, crate::perturb::PerturbStat)>,
 }
 
 impl Snapshot {
@@ -367,21 +390,44 @@ impl Snapshot {
             .collect()
     }
 
+    /// Per-chunk lineage records, sorted by `(step, src_rank)`. Empty
+    /// unless lineage recording was on.
+    pub fn lineage(&self) -> &[crate::lineage::ChunkLineage] {
+        &self.lineage
+    }
+
+    /// `(step, perturbation stat)` rows, step-sorted.
+    pub fn perturb(&self) -> &[(u64, crate::perturb::PerturbStat)] {
+        &self.perturb
+    }
+
     /// Render the snapshot as the versioned JSON schema `predata-report`
     /// consumes (see DESIGN.md §obs):
     ///
     /// ```json
-    /// {"version":1,
+    /// {"version":2,
     ///  "counters":[{"name":"…","labels":{…},"value":0}],
     ///  "gauges":[{"name":"…","labels":{…},"value":0,"max":0}],
     ///  "histograms":[{"name":"…","labels":{…},"count":0,"sum":0,
     ///                 "buckets":[[lo,hi,count]]}],
     ///  "steps":[{"step":0,"stages":[{"stage":"pull","count":0,
-    ///            "total_ns":0,"max_ns":0}]}]}
+    ///            "total_ns":0,"max_ns":0}]}],
+    ///  "lineage":[{"src":0,"step":0,"truncated":false,
+    ///              "events":[{"stage":"packed","at_ns":0,
+    ///                         "bytes":0,"wait_ns":0}]}],
+    ///  "perturb":[{"step":0,"compute_ns":0,"blocked_ns":0,
+    ///              "pull_bytes":0,"pulls":0}]}
     /// ```
+    ///
+    /// Versioning policy: schema changes are additive (new optional
+    /// top-level sections or object fields); the major version bumps
+    /// when a section is added, and readers accept version N and N−1.
+    /// Version 2 added `lineage` and `perturb` — both optional, and
+    /// omitted fields (`bytes`, `wait_ns`) mean "the site didn't
+    /// measure this".
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\"version\":1,\"counters\":[");
+        out.push_str("{\"version\":2,\"counters\":[");
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -434,6 +480,47 @@ impl Snapshot {
                 ));
             }
             out.push_str("]}");
+        }
+        out.push_str("],\"lineage\":[");
+        for (i, chunk) in self.lineage.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"src\":{},\"step\":{},\"truncated\":{},\"events\":[",
+                chunk.src_rank,
+                chunk.step,
+                chunk.is_truncated()
+            ));
+            for (j, (stage, mark)) in chunk.events().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"stage\":{},\"at_ns\":{}",
+                    json_str(stage.name()),
+                    mark.at_ns
+                ));
+                if let Some(b) = mark.bytes {
+                    out.push_str(&format!(",\"bytes\":{b}"));
+                }
+                if let Some(w) = mark.wait_ns {
+                    out.push_str(&format!(",\"wait_ns\":{w}"));
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"perturb\":[");
+        for (i, (step, stat)) in self.perturb.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"step\":{step},\"compute_ns\":{},\"blocked_ns\":{},\
+                 \"pull_bytes\":{},\"pulls\":{}}}",
+                stat.compute_ns, stat.blocked_ns, stat.pull_bytes, stat.pulls
+            ));
         }
         out.push_str("]}");
         out
@@ -568,7 +655,7 @@ mod tests {
         reg.histogram("h", &[]).record(3);
         reg.record_span("pull", 0, 42);
         let json = reg.snapshot().to_json();
-        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.starts_with("{\"version\":2,"));
         assert!(
             json.contains("\"counters\":[{\"name\":\"c\",\"labels\":{\"k\":\"v\"},\"value\":1}]")
         );
@@ -578,6 +665,31 @@ mod tests {
         assert!(json.contains("\"buckets\":[[2,3,1]]"));
         assert!(json.contains(
             "\"steps\":[{\"step\":0,\"stages\":[{\"stage\":\"pull\",\"count\":1,\"total_ns\":42,\"max_ns\":42}]}]"
+        ));
+        // v2 sections are present even when empty.
+        assert!(json.contains("\"lineage\":[]"));
+        assert!(json.ends_with("\"perturb\":[]}"));
+    }
+
+    #[test]
+    fn snapshot_json_renders_lineage_and_perturb() {
+        use crate::lineage::Stage;
+        let reg = Registry::new();
+        reg.lineage()
+            .record_mark(3, 1, Stage::Packed, Some(4096), None, true);
+        reg.lineage()
+            .record_mark(3, 1, Stage::Decoded, None, Some(250), true);
+        reg.perturb().update_for_test(1, 100, 20, 4096, 1);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains(
+            "\"lineage\":[{\"src\":3,\"step\":1,\"truncated\":false,\"events\":[\
+             {\"stage\":\"packed\",\"at_ns\":"
+        ));
+        assert!(json.contains("\"bytes\":4096"));
+        assert!(json.contains("\"wait_ns\":250"));
+        assert!(json.contains(
+            "\"perturb\":[{\"step\":1,\"compute_ns\":100,\"blocked_ns\":20,\
+             \"pull_bytes\":4096,\"pulls\":1}]"
         ));
     }
 

@@ -1,0 +1,178 @@
+//! Perturbation monitor: how much did staging slow the simulation?
+//!
+//! PreDatA's headline evaluation (paper §5) measures per-step GTC
+//! *compute-time perturbation* — the slowdown the simulation suffers
+//! while the middleware moves and processes its output — and compares
+//! the staged approach against In-Compute-Node processing. This module
+//! makes that comparison a first-class record: per I/O step it
+//! accumulates
+//!
+//! - **compute time** — wall time the simulation spent in its own
+//!   iteration loop ([`record_compute`], called by the application),
+//! - **blocked time** — wall time `write_pg` held the simulation thread
+//!   (pack + expose + request send; [`record_blocked`], called by the
+//!   client), and
+//! - **concurrent transport activity** — RDMA pull count and bytes
+//!   landed during the step ([`record_pull`], called by the fabric),
+//!
+//! so a report can correlate "step 7's compute ran 4% long" with "step
+//! 7 pulled 900 MB". Recording shares the [`crate::lineage::enabled`]
+//! gate (`PREDATA_LINEAGE`): perturbation attribution is part of the
+//! same opt-in deep-observability layer, and a disabled call is one
+//! relaxed atomic load.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Accumulated perturbation inputs for one I/O step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerturbStat {
+    /// Simulation compute wall time attributed to this step (ns).
+    pub compute_ns: u64,
+    /// Simulation wall time blocked inside `write_pg` this step (ns).
+    pub blocked_ns: u64,
+    /// Bytes landed by RDMA pulls for this step.
+    pub pull_bytes: u64,
+    /// Number of RDMA pulls completed for this step.
+    pub pulls: u64,
+}
+
+impl PerturbStat {
+    /// Fraction of the simulation's step wall time spent blocked in
+    /// output: `blocked / (compute + blocked)`. `None` until any time
+    /// has been recorded.
+    pub fn blocked_fraction(&self) -> Option<f64> {
+        let denom = self.compute_ns + self.blocked_ns;
+        (denom > 0).then(|| self.blocked_ns as f64 / denom as f64)
+    }
+}
+
+/// Per-registry table of per-step perturbation stats.
+#[derive(Debug, Default)]
+pub struct PerturbTable {
+    steps: Mutex<BTreeMap<u64, PerturbStat>>,
+}
+
+impl PerturbTable {
+    fn update(&self, step: u64, f: impl FnOnce(&mut PerturbStat)) {
+        let mut steps = self
+            .steps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(steps.entry(step).or_default());
+    }
+
+    #[cfg(test)]
+    pub(crate) fn update_for_test(
+        &self,
+        step: u64,
+        compute_ns: u64,
+        blocked_ns: u64,
+        pull_bytes: u64,
+        pulls: u64,
+    ) {
+        self.update(step, |s| {
+            s.compute_ns += compute_ns;
+            s.blocked_ns += blocked_ns;
+            s.pull_bytes += pull_bytes;
+            s.pulls += pulls;
+        });
+    }
+
+    /// Copy out `(step, stat)` rows, sorted by step.
+    pub fn snapshot(&self) -> Vec<(u64, PerturbStat)> {
+        self.steps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(&step, &stat)| (step, stat))
+            .collect()
+    }
+}
+
+/// Attribute simulation compute wall time to `step`. Called by the
+/// application around its iteration loop. No-op unless
+/// [`crate::lineage::enabled`].
+pub fn record_compute(step: u64, elapsed: Duration) {
+    if !crate::lineage::enabled() {
+        return;
+    }
+    crate::global()
+        .perturb()
+        .update(step, |s| s.compute_ns += elapsed.as_nanos() as u64);
+}
+
+/// Attribute simulation blocked-in-output wall time to `step`. Called by
+/// the client once per `write_pg`.
+pub fn record_blocked(step: u64, elapsed: Duration) {
+    if !crate::lineage::enabled() {
+        return;
+    }
+    crate::global()
+        .perturb()
+        .update(step, |s| s.blocked_ns += elapsed.as_nanos() as u64);
+}
+
+/// Record one completed RDMA pull of `bytes` for `step`. Called by the
+/// fabric on `rdma_get` success.
+pub fn record_pull(step: u64, bytes: u64) {
+    if !crate::lineage::enabled() {
+        return;
+    }
+    crate::global().perturb().update(step, |s| {
+        s.pull_bytes += bytes;
+        s.pulls += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_step() {
+        let t = PerturbTable::default();
+        t.update(0, |s| s.compute_ns += 100);
+        t.update(0, |s| s.compute_ns += 50);
+        t.update(1, |s| {
+            s.blocked_ns += 25;
+            s.pull_bytes += 4096;
+            s.pulls += 1;
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap[0],
+            (
+                0,
+                PerturbStat {
+                    compute_ns: 150,
+                    ..Default::default()
+                }
+            )
+        );
+        assert_eq!(snap[1].1.pull_bytes, 4096);
+        assert_eq!(snap[1].1.pulls, 1);
+    }
+
+    #[test]
+    fn blocked_fraction() {
+        let mut s = PerturbStat::default();
+        assert_eq!(s.blocked_fraction(), None);
+        s.compute_ns = 75;
+        s.blocked_ns = 25;
+        assert!((s.blocked_fraction().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_record_is_a_no_op() {
+        crate::lineage::set_enabled(false);
+        record_compute(12_345, Duration::from_secs(1));
+        assert!(crate::global()
+            .perturb()
+            .snapshot()
+            .iter()
+            .all(|&(step, _)| step != 12_345));
+    }
+}

@@ -27,9 +27,24 @@ struct TraceEvent {
     tid: u64,
 }
 
+/// One per-chunk lineage flow event: `"ph":"s"` starts the arrow chain
+/// at the chunk's first recorded stage, `"t"` continues it, `"f"` ends
+/// it at a terminal stage. All events of one chunk share a flow `id`,
+/// so Perfetto draws the chunk's journey as arrows across threads.
+#[derive(Debug, Clone)]
+struct FlowEvent {
+    stage: &'static str,
+    src: u64,
+    step: u64,
+    ts_us: u64,
+    ph: char,
+    tid: u64,
+}
+
 #[derive(Debug, Default)]
 struct Collector {
     events: Vec<TraceEvent>,
+    flows: Vec<FlowEvent>,
     /// `(tid, name)` of every thread that recorded at least one event.
     threads: Vec<(u64, String)>,
     path: Option<PathBuf>,
@@ -44,6 +59,7 @@ fn collector() -> &'static Mutex<Collector> {
         }
         Mutex::new(Collector {
             events: Vec::new(),
+            flows: Vec::new(),
             threads: Vec::new(),
             path,
         })
@@ -107,6 +123,31 @@ pub(crate) fn record_complete(stage: &'static str, step: u64, start: Instant, du
     });
 }
 
+/// Append one lineage flow event for chunk `(src, step)`. Called from
+/// `lineage::record*` while [`active`].
+pub(crate) fn record_flow(stage: &'static str, src: u64, step: u64, ph: char) {
+    let ts_us = crate::epoch().elapsed().as_micros() as u64;
+    let (tid, fresh) = thread_id();
+    let mut c = collector()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if fresh {
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_string();
+        c.threads.push((tid, name));
+    }
+    c.flows.push(FlowEvent {
+        stage,
+        src,
+        step,
+        ts_us,
+        ph,
+        tid,
+    });
+}
+
 /// Number of buffered events (diagnostics/tests).
 pub fn buffered() -> usize {
     collector()
@@ -151,6 +192,26 @@ pub fn render() -> String {
             ev.step
         ));
     }
+    for fl in &c.flows {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // Flow ids must be unique per chunk; ranks and steps are far
+        // below 10^6 in any run this middleware hosts.
+        let id = fl.src * 1_000_000 + fl.step;
+        out.push_str(&format!(
+            "{{\"name\":\"chunk\",\"cat\":\"lineage\",\"ph\":\"{}\",\"id\":{id},\
+             \"ts\":{},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"src\":{},\"step\":{},\"stage\":{}}}}}",
+            fl.ph,
+            fl.ts_us,
+            fl.tid,
+            fl.src,
+            fl.step,
+            json_str(fl.stage)
+        ));
+    }
     out.push(']');
     out
 }
@@ -167,6 +228,7 @@ pub fn flush() -> std::io::Result<Option<PathBuf>> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         c.events.clear();
+        c.flows.clear();
         c.threads.clear();
         c.path.clone()
     };
@@ -199,5 +261,24 @@ mod tests {
         let back = std::fs::read_to_string(&written).unwrap();
         assert!(back.contains("trace-stage"));
         std::fs::remove_file(written).ok();
+    }
+
+    #[test]
+    fn flow_events_share_one_id_per_chunk() {
+        install(std::env::temp_dir().join(format!("obs-flow-{}.json", std::process::id())));
+        record_flow("packed", 3, 7, 's');
+        record_flow("decoded", 3, 7, 't');
+        record_flow("written", 3, 7, 'f');
+        let json = render();
+        let id = 3 * 1_000_000 + 7;
+        for ph in ["s", "t", "f"] {
+            assert!(
+                json.contains(&format!("\"ph\":\"{ph}\",\"id\":{id}")),
+                "missing flow phase {ph}: {json}"
+            );
+        }
+        assert!(json.contains("\"stage\":\"decoded\""));
+        assert!(json.contains("\"cat\":\"lineage\""));
+        flush().unwrap();
     }
 }

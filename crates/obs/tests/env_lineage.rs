@@ -1,0 +1,45 @@
+//! The `PREDATA_LINEAGE` env path, end to end in a clean process: with
+//! the variable set before any obs call, `lineage::record*` must track
+//! chunks without any programmatic `set_enabled`, and the snapshot must
+//! carry the records in the v2 JSON sections.
+
+use obs::lineage::{self, Stage};
+
+#[test]
+fn lineage_env_enables_recording_and_v2_export() {
+    // Set before ANY obs call in this process: the lazy read must see it.
+    std::env::set_var("PREDATA_LINEAGE", "1");
+
+    assert!(lineage::enabled(), "PREDATA_LINEAGE=1 enables lineage");
+    lineage::record_bytes(5, 2, Stage::Packed, 1024);
+    lineage::record(5, 2, Stage::Routed);
+    lineage::record_wait(5, 2, Stage::Decoded, 777);
+    obs::perturb::record_pull(2, 1024);
+
+    let snap = obs::global().snapshot();
+    let chunk = snap
+        .lineage()
+        .iter()
+        .find(|c| c.src_rank == 5 && c.step == 2)
+        .expect("chunk tracked from env-enabled lineage");
+    assert_eq!(chunk.mark(Stage::Packed).unwrap().bytes, Some(1024));
+    assert_eq!(chunk.mark(Stage::Decoded).unwrap().wait_ns, Some(777));
+    assert!(!chunk.is_truncated());
+
+    let (step, stat) = snap
+        .perturb()
+        .iter()
+        .find(|(s, _)| *s == 2)
+        .copied()
+        .expect("perturb row for step 2");
+    assert_eq!(step, 2);
+    assert_eq!(stat.pull_bytes, 1024);
+    assert_eq!(stat.pulls, 1);
+
+    let json = snap.to_json();
+    assert!(json.starts_with("{\"version\":2,"));
+    assert!(json.contains("\"src\":5,\"step\":2"));
+    assert!(json.contains("\"pull_bytes\":1024"));
+
+    std::env::remove_var("PREDATA_LINEAGE");
+}

@@ -285,7 +285,14 @@ impl StagingEndpoint {
     /// Block for the next fetch request, with a deadline.
     pub fn recv_request(&self, timeout: Duration) -> Result<FetchRequest, TransportError> {
         match self.requests.recv_timeout(timeout) {
-            Ok(r) => Ok(r),
+            Ok(r) => {
+                obs::lineage::record(
+                    r.src_rank as u64,
+                    r.io_step,
+                    obs::lineage::Stage::RequestReceived,
+                );
+                Ok(r)
+            }
             Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
         }
@@ -293,7 +300,13 @@ impl StagingEndpoint {
 
     /// Non-blocking request poll.
     pub fn try_recv_request(&self) -> Option<FetchRequest> {
-        self.requests.try_recv().ok()
+        let r = self.requests.try_recv().ok()?;
+        obs::lineage::record(
+            r.src_rank as u64,
+            r.io_step,
+            obs::lineage::Stage::RequestReceived,
+        );
+        Some(r)
     }
 
     /// One-sided pull of an exposed chunk. Consumes the exposure (the
@@ -319,6 +332,13 @@ impl StagingEndpoint {
         if let Some(t) = started {
             self.inner.obs_get_ns.record(t.elapsed().as_nanos() as u64);
         }
+        obs::lineage::record_bytes(
+            req.src_rank as u64,
+            req.io_step,
+            obs::lineage::Stage::RdmaDone,
+            buf.len() as u64,
+        );
+        obs::perturb::record_pull(req.io_step, buf.len() as u64);
         // Completion is best-effort: if the compute endpoint is gone the
         // data still flows (matches one-sided RDMA semantics).
         let _ = self.inner.comp_tx[req.src_rank].send(CompletionEvent {

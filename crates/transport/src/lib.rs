@@ -25,13 +25,17 @@
 //!
 //! The [`evq`] module provides EVPath-flavoured typed event queues
 //! ("stones") used to chain in-transit processing inside a staging node.
-
+//!
 //! # Example
+//!
+//! Every fabric operation is fallible — `expose` enforces the pin
+//! budget, `rdma_get` consumes the exposure (a second get on the same
+//! handle is a protocol error, reported as [`TransportError::StaleHandle`]):
 //!
 //! ```
 //! use std::sync::Arc;
 //! use std::time::Duration;
-//! use transport::{Fabric, FetchRequest};
+//! use transport::{Fabric, FetchRequest, TransportError};
 //!
 //! let (fabric, computes, stagings) = Fabric::new(1, 1, None);
 //! let buf: Arc<[u8]> = vec![7u8; 64].into();
@@ -46,6 +50,12 @@
 //! assert_eq!(&pulled[..], &buf[..]);
 //! computes[0].wait_completion(Duration::from_secs(1)).unwrap(); // buffer reusable
 //! assert_eq!(fabric.stats().bytes_pulled(), 64);
+//!
+//! // The exposure is consumed: pulling the same handle again is stale.
+//! assert!(matches!(
+//!     stagings[0].rdma_get(&req),
+//!     Err(TransportError::StaleHandle(_))
+//! ));
 //! ```
 
 pub mod evq;

@@ -178,6 +178,11 @@ impl PullPolicy for PhaseAwarePolicy {
     }
 
     fn wait_ready(&self, timeout: Duration) -> bool {
+        if self.signal.is_busy() {
+            obs::global()
+                .counter("transport.pull_deferrals", &[("policy", "phase_aware")])
+                .inc();
+        }
         self.signal.wait_until_idle(timeout)
     }
 }
@@ -255,6 +260,9 @@ impl PullPolicy for RateLimitedPolicy {
         };
         let parked = wait.min(timeout);
         std::thread::sleep(parked);
+        obs::global()
+            .counter("transport.pull_deferrals", &[("policy", "rate_limited")])
+            .inc();
         obs::global()
             .histogram("transport.ratelimit_wait_ns", &[])
             .record(parked.as_nanos() as u64);

@@ -7,6 +7,10 @@
 
 /// Chooses the staging rank responsible for a compute rank's output.
 pub trait Router: Send + Sync {
+    /// Pick the staging rank for `(compute_rank, io_step)`. Routing is a
+    /// pure function of its arguments — the *caller* (the client's
+    /// `write_pg`) is the chunk's `routed` lineage transition, so custom
+    /// routers need no instrumentation of their own.
     fn route(&self, compute_rank: usize, io_step: u64) -> usize;
 
     /// Number of staging ranks this router spreads over.

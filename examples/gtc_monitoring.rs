@@ -3,6 +3,13 @@
 //! by label, builds 1-D and 2-D histograms, and bitmap-indexes a
 //! coordinate — all in transit, while the simulation keeps iterating.
 //!
+//! Per-chunk lineage and the perturbation monitor are on for the run
+//! (unless `PREDATA_LINEAGE` explicitly disables them), so the final
+//! printout includes the paper's §V perturbation view: per-step compute
+//! time vs time blocked in the output path. Export a full snapshot with
+//! `PREDATA_METRICS=/path/snapshot.json` and render the critical-path
+//! and straggler views with `predata-report`.
+//!
 //! ```text
 //! cargo run --release --example gtc_monitoring
 //! ```
@@ -26,6 +33,12 @@ fn main() {
     let iterations_per_interval = 5;
     let out_dir = std::env::temp_dir().join("predata-gtc-monitoring");
     std::fs::create_dir_all(&out_dir).ok();
+
+    // Chunk lineage + perturbation on by default for the demo; an
+    // explicit PREDATA_LINEAGE setting (e.g. `=0`) still wins.
+    if std::env::var_os("PREDATA_LINEAGE").is_none() {
+        predata::obs::lineage::set_enabled(true);
+    }
 
     println!(
         "GTC-like run: {n_compute} compute ranks x {particles_per_rank} particles, \
@@ -79,9 +92,11 @@ fn main() {
             blocking.as_secs_f64() * 1e3,
             world.displaced_fraction() * 100.0
         );
+        let t_compute = Instant::now();
         for _ in 0..iterations_per_interval {
             world.step(); // simulation continues while staging pulls
         }
+        predata::obs::perturb::record_compute(io_step, t_compute.elapsed());
     }
 
     // Monitoring feed: per-step statistics flow through an EVPath-style
@@ -139,5 +154,35 @@ fn main() {
         fabric.stats().rdma_gets(),
         fabric.stats().bytes_pulled() as f64 / 1e6
     );
+
+    // Perturbation summary (paper §V): how much of each interval the
+    // simulation spent computing vs blocked in the output path, and the
+    // transport activity concurrent with it.
+    let snap = predata::obs::global().snapshot();
+    let perturb = snap.perturb();
+    if !perturb.is_empty() {
+        println!("perturbation (compute vs output blocking per dump):");
+        for (step, stat) in perturb {
+            let pct = stat
+                .blocked_fraction()
+                .map(|f| format!("{:.2}%", f * 100.0))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "  dump {step}: compute {:>8.3} ms, blocked {:>7.3} ms ({pct}), \
+                 {} pulls / {:.1} MB in flight",
+                stat.compute_ns as f64 / 1e6,
+                stat.blocked_ns as f64 / 1e6,
+                stat.pulls,
+                stat.pull_bytes as f64 / 1e6
+            );
+        }
+    }
+    let complete = snap.lineage().iter().filter(|c| c.is_complete()).count();
+    if !snap.lineage().is_empty() {
+        println!(
+            "lineage: {complete}/{} chunks completed the full pipeline",
+            snap.lineage().len()
+        );
+    }
     std::fs::remove_dir_all(&out_dir).ok();
 }

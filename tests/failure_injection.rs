@@ -91,6 +91,85 @@ fn corrupt_chunk_reported_as_chunk_error() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A failed pull must not leave *dangling* lineage: every chunk of the
+/// abandoned step ends either complete or explicitly
+/// [`Stage::Truncated`], including the healthy chunk that was collateral
+/// damage of its step-mate's corruption.
+#[test]
+fn failed_pull_truncates_lineage_instead_of_dangling() {
+    use predata::obs::lineage::Stage;
+    predata::obs::lineage::set_enabled(true);
+    // Step 40: far from the steps other tests in this process record, so
+    // the process-global lineage log can't collide across tests.
+    const STEP: u64 = 40;
+    let (_fabric, computes, stagings) = Fabric::new(2, 1, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(2, 1));
+    let dir = out_dir("lineage-trunc");
+    let mut computes = computes.into_iter();
+    let compute0 = computes.next().unwrap();
+    let compute1 = computes.next().unwrap();
+
+    // Rank 0 writes a healthy dump through the real client…
+    let client = PredataClient::new(compute0, Arc::clone(&router), vec![]);
+    client
+        .write_pg(make_particle_pg(0, STEP, vec![0.0; 16]))
+        .unwrap();
+    // …rank 1 exposes garbage that will fail to decode.
+    let garbage: Arc<[u8]> = vec![0xAB; 4096].into();
+    let handle = compute1.expose(garbage, STEP).unwrap();
+    compute1
+        .send_request(
+            0,
+            FetchRequest {
+                src_rank: 1,
+                io_step: STEP,
+                handle,
+                chunk_bytes: 4096,
+                format: PackedChunk::format_fingerprint(),
+                attrs: AttrList::new(),
+            },
+        )
+        .unwrap();
+
+    let (_world, mut comms) = World::with_size(1);
+    let mut rank = StagingRank::new(
+        comms.remove(0),
+        stagings.into_iter().next().unwrap(),
+        router,
+        Box::new(FifoPolicy::default()),
+        vec![Box::new(HistogramOp::new(vec![0], 4)) as Box<dyn StreamOp>],
+        StagingConfig::new(2, &dir),
+    )
+    .expect("staging rank starts");
+    assert!(
+        matches!(rank.run_step(STEP), Err(StagingError::Chunk(_))),
+        "corrupt chunk fails the step"
+    );
+
+    let lineage = predata::obs::global().lineage().snapshot();
+    let of_step: Vec<_> = lineage.iter().filter(|c| c.step == STEP).collect();
+    assert_eq!(of_step.len(), 2, "both chunks of step {STEP} are tracked");
+    for chunk in of_step {
+        assert!(
+            chunk.is_complete() || chunk.is_truncated(),
+            "chunk (src {}, step {STEP}) dangles: recorded {:?}",
+            chunk.src_rank,
+            chunk
+                .events()
+                .iter()
+                .map(|(s, _)| s.name())
+                .collect::<Vec<_>>()
+        );
+        // Truncation documents the abandonment without erasing progress.
+        if chunk.is_truncated() {
+            assert!(chunk.mark(Stage::Truncated).is_some());
+            assert!(!chunk.is_complete());
+        }
+    }
+    predata::obs::lineage::set_enabled(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A request for an *older* step than the one being gathered is a
 /// protocol violation (compute ranks move in lockstep) and must surface
 /// as StepSkew.

@@ -11,6 +11,12 @@
 //!
 //! Lives in its own integration-test binary (own process) because it
 //! toggles the process-global `obs::set_enabled` switch.
+//!
+//! Also exercises `obs::set_metrics_export_path`, the programmatic
+//! override of `PREDATA_METRICS`: the measurement runs pin the export
+//! path to `None` (no snapshot I/O in the timed region regardless of
+//! the ambient environment), then a final run points it at a real file
+//! and asserts the version-2 snapshot lands there.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -98,6 +104,12 @@ fn metrics_overhead_stays_within_budget() {
     let dir = std::env::temp_dir().join(format!("obs-ovh-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
+    // No snapshot export during the timed runs, whatever the ambient
+    // PREDATA_METRICS says — the override wins over the environment.
+    predata::obs::set_metrics_export_path(None);
+    // Lineage stays off: its cost is opt-in and outside this budget.
+    predata::obs::lineage::set_enabled(false);
+
     // Warm-up: fault in code paths, allocators, and the temp filesystem.
     predata::obs::set_enabled(false);
     run_once(&dir);
@@ -114,6 +126,19 @@ fn metrics_overhead_stays_within_budget() {
          (on={on:?} off={off:?}); budget is <3% nominal, 10% with CI slack",
         (ratio - 1.0) * 100.0
     );
+
+    // With the measurement done, flip the override to a real path: one
+    // more run must export a version-2 snapshot there at join().
+    let snap_path = dir.join("override-snapshot.json");
+    predata::obs::set_metrics_export_path(Some(snap_path.clone()));
+    predata::obs::set_enabled(true);
+    run_once(&dir);
+    predata::obs::set_enabled(false);
+    predata::obs::set_metrics_export_path(None);
+    let text = std::fs::read_to_string(&snap_path)
+        .expect("join() exports a snapshot to the overridden path");
+    let root: serde_json::Value = serde_json::from_str(&text).expect("exported snapshot parses");
+    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(2));
 
     std::fs::remove_dir_all(&dir).ok();
 }

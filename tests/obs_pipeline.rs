@@ -1,13 +1,16 @@
 //! End-to-end observability: a 2-compute / 1-staging run must leave a
 //! complete paper-style record behind — per-stage span totals in the
-//! metrics snapshot (the Fig. 7–9 breakdown inputs), a JSON export that
-//! round-trips through the `predata-report` schema, and a Chrome-trace
-//! file that `chrome://tracing` / Perfetto can load.
+//! metrics snapshot (the Fig. 7–9 breakdown inputs), per-chunk lineage
+//! covering every pipeline stage in order, a JSON export that
+//! round-trips through the `predata-report` schema (including the
+//! critical-path and perturbation views), and a Chrome-trace file that
+//! `chrome://tracing` / Perfetto can load.
 //!
 //! Uses the programmatic overrides (`obs::set_enabled`,
-//! `obs::trace::install`) rather than `PREDATA_METRICS` /
-//! `PREDATA_TRACE` so the test is immune to environment races; the env
-//! path is covered by unit tests in the `obs` crate.
+//! `obs::lineage::set_enabled`, `obs::trace::install`) rather than
+//! `PREDATA_METRICS` / `PREDATA_TRACE` / `PREDATA_LINEAGE` so the test
+//! is immune to environment races; the env path is covered by unit
+//! tests in the `obs` crate.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -59,6 +62,7 @@ fn scratch(tag: &str) -> PathBuf {
 #[test]
 fn pipeline_emits_snapshot_and_perfetto_trace() {
     predata::obs::set_enabled(true);
+    predata::obs::lineage::set_enabled(true);
     let trace_path = scratch("trace").join("trace.json");
     predata::obs::trace::install(&trace_path);
 
@@ -80,8 +84,13 @@ fn pipeline_emits_snapshot_and_perfetto_trace() {
         })
         .collect();
     for step in 0..N_STEPS {
+        // "Simulation compute" for the perturbation monitor: the dump
+        // synthesis stands in for the application's iteration work.
+        let t_compute = std::time::Instant::now();
+        let dumps: Vec<Vec<f64>> = (0..N_COMPUTE as u64).map(|r| dump(r, step)).collect();
+        predata::obs::perturb::record_compute(step, t_compute.elapsed());
         for (r, c) in clients.iter().enumerate() {
-            c.write_pg(make_particle_pg(r as u64, step, dump(r as u64, step)))
+            c.write_pg(make_particle_pg(r as u64, step, dumps[r].clone()))
                 .unwrap();
         }
     }
@@ -118,12 +127,61 @@ fn pipeline_emits_snapshot_and_perfetto_trace() {
     assert!(snap.counter("transport.rdma_get_bytes", &[]).unwrap_or(0) > 0);
     assert!(snap.counter("bpio.bytes_written", &[]).unwrap_or(0) > 0);
 
-    // 3. The JSON export parses and matches the predata-report schema.
+    // 3. Every chunk (compute rank × step) has a lineage record covering
+    //    the full pipeline, with timestamps in stage order.
+    use predata::obs::lineage::Stage;
+    let lineage = snap.lineage();
+    assert_eq!(
+        lineage.len() as u64,
+        N_COMPUTE as u64 * N_STEPS,
+        "one lineage record per chunk"
+    );
+    for chunk in lineage {
+        assert!(
+            chunk.is_complete(),
+            "chunk (src {}, step {}) missing stages: has {:?}",
+            chunk.src_rank,
+            chunk.step,
+            chunk
+                .events()
+                .iter()
+                .map(|(s, _)| s.name())
+                .collect::<Vec<_>>()
+        );
+        assert!(!chunk.is_truncated());
+        let ev = chunk.events();
+        assert!(
+            ev.windows(2).all(|w| w[0].1.at_ns <= w[1].1.at_ns),
+            "chunk (src {}, step {}) has out-of-order timestamps",
+            chunk.src_rank,
+            chunk.step
+        );
+        // The transitions that move bytes know their sizes.
+        assert!(chunk.mark(Stage::Packed).unwrap().bytes.is_some());
+        assert!(chunk.mark(Stage::RdmaDone).unwrap().bytes.is_some());
+        assert!(chunk.dominant_gap().is_some());
+    }
+
+    // 4. The perturbation monitor recorded every step: compute time (from
+    //    this test), blocked-in-write_pg time, and concurrent pull bytes.
+    let perturb = snap.perturb();
+    assert_eq!(perturb.len() as u64, N_STEPS);
+    for (step, stat) in perturb {
+        assert!(stat.compute_ns > 0, "step {step} has no compute time");
+        assert!(stat.blocked_ns > 0, "step {step} has no blocked time");
+        assert!(
+            stat.pulls > 0 && stat.pull_bytes > 0,
+            "step {step} saw no pulls"
+        );
+        assert!(stat.blocked_fraction().is_some());
+    }
+
+    // 5. The JSON export parses and matches the predata-report schema.
     let json = snap.to_json();
     let snap_path = out_dir.join("snapshot.json");
     std::fs::write(&snap_path, &json).unwrap();
     let root = serde_json::from_str(&json).expect("snapshot JSON parses");
-    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(2));
     let steps = root
         .get("steps")
         .and_then(|v| v.as_array())
@@ -140,15 +198,30 @@ fn pipeline_emits_snapshot_and_perfetto_trace() {
         assert!(stage_names.contains(&want), "step 0 missing stage {want}");
     }
 
-    // 4. join() flushed the Chrome trace; the file must be valid trace
-    //    JSON — an array of "X" complete events (with ts/dur/pid/tid)
-    //    plus "M" thread-name metadata — which Perfetto loads directly.
+    // 6. predata-report renders the new views from the live snapshot.
+    let report = predata_bench::report::render_snapshot_str(&json)
+        .expect("live snapshot renders as a report");
+    assert!(report.contains("per-chunk critical path"));
+    assert!(report.contains("stragglers"));
+    assert!(report.contains("per-step perturbation"));
+    assert!(report.contains("rdma_done"), "critical path names stages");
+    assert!(
+        !report.contains("no lineage records"),
+        "views render real data, not placeholders"
+    );
+
+    // 7. join() flushed the Chrome trace; the file must be valid trace
+    //    JSON — an array of "X" complete events (with ts/dur/pid/tid),
+    //    "s"/"t"/"f" per-chunk lineage flow events, plus "M" thread-name
+    //    metadata — which Perfetto loads directly.
     let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written at join");
     let trace = serde_json::from_str(&trace_text).expect("trace JSON parses");
     let events = trace.as_array().expect("trace is a JSON array");
     assert!(!events.is_empty(), "trace has events");
     let mut complete = 0;
     let mut metadata = 0;
+    let mut flows = 0;
+    let mut flow_starts = 0;
     for ev in events {
         match ev.get("ph").and_then(|v| v.as_str()) {
             Some("X") => {
@@ -160,11 +233,27 @@ fn pipeline_emits_snapshot_and_perfetto_trace() {
                 assert!(ev.get("tid").and_then(|v| v.as_u64()).is_some());
             }
             Some("M") => metadata += 1,
+            Some(ph @ ("s" | "t" | "f")) => {
+                flows += 1;
+                if ph == "s" {
+                    flow_starts += 1;
+                }
+                assert_eq!(ev.get("cat").and_then(|v| v.as_str()), Some("lineage"));
+                assert!(ev.get("id").and_then(|v| v.as_u64()).is_some());
+                let args = ev.get("args").expect("flow event carries args");
+                assert!(args.get("stage").and_then(|v| v.as_str()).is_some());
+            }
             other => panic!("unexpected trace event phase {other:?}"),
         }
     }
     assert!(complete > 0, "trace contains complete events");
     assert!(metadata > 0, "trace names its threads");
+    assert!(flows > 0, "trace contains lineage flow events");
+    assert_eq!(
+        flow_starts as u64,
+        N_COMPUTE as u64 * N_STEPS,
+        "one flow-start per chunk"
+    );
     let named: Vec<&str> = events
         .iter()
         .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
