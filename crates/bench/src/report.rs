@@ -204,6 +204,46 @@ fn render_stage_summary(cells: &[StageCell], out: &mut String) {
     }
 }
 
+/// The degradation-ladder counters (DESIGN.md §3.3) pulled out of the
+/// flat counter list into their own view, so an operator reads the
+/// run's resilience story — faults seen, retries paid, chunks lost,
+/// steps run in-compute — at a glance. Omitted entirely for a run that
+/// climbed no rungs.
+fn render_resilience(root: &Value, out: &mut String) -> Result<(), String> {
+    const LADDER: [(&str, &str); 7] = [
+        ("transport.faults_injected", "faults injected"),
+        ("transport.retries", "retries absorbed"),
+        ("transport.retry_exhausted", "retries exhausted"),
+        ("staging.truncated_chunks", "chunks truncated"),
+        ("client.reclaimed_bytes", "bytes reclaimed"),
+        ("client.fallback_steps", "in-compute fallback steps"),
+        ("client.recoveries", "recoveries to staged writes"),
+    ];
+    let counters = require(root, "counters", "root")?
+        .as_array()
+        .ok_or("snapshot root: `counters` is not an array")?;
+    let mut lines = Vec::new();
+    for c in counters {
+        let name = require(c, "name", "counters[]")?
+            .as_str()
+            .ok_or("snapshot counters[]: `name` is not a string")?;
+        let Some((_, what)) = LADDER.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        let value = require_u64(c, "value", "counters[]")?;
+        if value > 0 {
+            lines.push(format!("{what:<27} {name}{} = {value}\n", label_suffix(c)));
+        }
+    }
+    if !lines.is_empty() {
+        out.push_str("\n=== resilience (degradation ladder) ===\n");
+        for line in lines {
+            out.push_str(&line);
+        }
+    }
+    Ok(())
+}
+
 fn render_counters(root: &Value, out: &mut String) -> Result<(), String> {
     let counters = require(root, "counters", "root")?
         .as_array()
@@ -512,6 +552,7 @@ pub fn render_snapshot(root: &Value) -> Result<String, String> {
     render_critical_path(&lineage, &mut out);
     render_stragglers(&lineage, 3, &mut out);
     render_perturb(root, &mut out)?;
+    render_resilience(root, &mut out)?;
     render_counters(root, &mut out)?;
     render_gauges(root, &mut out)?;
     render_histograms(root, &mut out)?;
@@ -590,6 +631,37 @@ mod tests {
         assert!(report.contains("stragglers"), "got: {report}");
         assert!(report.contains("[truncated]"), "got: {report}");
         assert!(report.contains("per-step perturbation"), "got: {report}");
+    }
+
+    #[test]
+    fn resilience_section_appears_only_when_the_ladder_was_climbed() {
+        let reg = obs::Registry::new();
+        reg.counter("staging.chunks", &[]).add(8);
+        let quiet = render_snapshot_str(&reg.snapshot().to_json()).unwrap();
+        assert!(
+            !quiet.contains("resilience"),
+            "a fault-free run must not render the ladder view: {quiet}"
+        );
+
+        reg.counter("transport.retries", &[("op", "pull")]).add(3);
+        reg.counter("transport.retry_exhausted", &[("op", "pull")])
+            .add(1);
+        reg.counter("client.fallback_steps", &[]).add(2);
+        let report = render_snapshot_str(&reg.snapshot().to_json()).unwrap();
+        assert!(
+            report.contains("=== resilience (degradation ladder) ==="),
+            "got: {report}"
+        );
+        assert!(
+            report.contains("retries absorbed") && report.contains("{op=pull} = 3"),
+            "got: {report}"
+        );
+        assert!(
+            report.contains("in-compute fallback steps"),
+            "got: {report}"
+        );
+        // Rungs that never fired stay out of the view.
+        assert!(!report.contains("chunks truncated"), "got: {report}");
     }
 
     #[test]

@@ -24,7 +24,15 @@ impl std::fmt::Display for ChunkError {
     }
 }
 
-impl std::error::Error for ChunkError {}
+impl std::error::Error for ChunkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChunkError::Ffs(e) => Some(e),
+            ChunkError::Bp(e) => Some(e),
+            ChunkError::Malformed(_) => None,
+        }
+    }
+}
 
 impl From<ffs::FfsError> for ChunkError {
     fn from(e: ffs::FfsError) -> Self {

@@ -8,12 +8,14 @@
 //! request — then returns immediately. The simulation resumes while the
 //! staging area pulls the bulk bytes.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use bpio::ProcessGroup;
 use ffs::AttrList;
-use transport::{ComputeEndpoint, FetchRequest, Router, TransportError};
+use transport::{ComputeEndpoint, FetchRequest, MemHandle, Router, TransportError};
 
 use crate::chunk::{ChunkError, PackedChunk};
 use crate::op::ComputeSideOp;
@@ -34,7 +36,16 @@ impl std::fmt::Display for ClientError {
     }
 }
 
-impl std::error::Error for ClientError {}
+impl std::error::Error for ClientError {
+    /// The wrapped pack/transport failure, for `?`-style error chains
+    /// across crate boundaries.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Pack(e) => Some(e),
+            ClientError::Transport(e) => Some(e),
+        }
+    }
+}
 
 impl From<ChunkError> for ClientError {
     fn from(e: ChunkError) -> Self {
@@ -64,7 +75,10 @@ pub struct PredataClient {
     endpoint: ComputeEndpoint,
     router: Arc<dyn Router>,
     ops: Vec<Arc<dyn ComputeSideOp>>,
-    outstanding: std::cell::Cell<usize>,
+    /// Exposures not yet confirmed pulled: handle → (bytes, step).
+    /// Keyed by handle so completions can be matched exactly and
+    /// un-pulled dumps can be withdrawn ([`Self::reclaim_outstanding`]).
+    outstanding: RefCell<HashMap<MemHandle, (usize, u64)>>,
 }
 
 impl PredataClient {
@@ -77,7 +91,7 @@ impl PredataClient {
             endpoint,
             router,
             ops,
-            outstanding: std::cell::Cell::new(0),
+            outstanding: RefCell::new(HashMap::new()),
         }
     }
 
@@ -111,7 +125,7 @@ impl PredataClient {
         let handle = self.endpoint.expose(buf, step)?;
         let staging_rank = self.router.route(self.rank(), step);
         obs::lineage::record(src, step, obs::lineage::Stage::Routed);
-        self.endpoint.send_request(
+        if let Err(e) = self.endpoint.send_request(
             staging_rank,
             FetchRequest {
                 src_rank: self.rank(),
@@ -121,9 +135,14 @@ impl PredataClient {
                 format: PackedChunk::format_fingerprint(),
                 attrs,
             },
-        )?;
+        ) {
+            // The request never left: withdraw the exposure so a failed
+            // write doesn't leak pinned compute-node memory.
+            self.endpoint.reclaim(handle);
+            return Err(e.into());
+        }
         obs::lineage::record(src, step, obs::lineage::Stage::RequestSent);
-        self.outstanding.set(self.outstanding.get() + 1);
+        self.outstanding.borrow_mut().insert(handle, (bytes, step));
         if let Some(started) = call_started {
             obs::perturb::record_blocked(step, started.elapsed());
         }
@@ -145,19 +164,63 @@ impl PredataClient {
     /// buffers, not after every write).
     pub fn wait_drained(&self, timeout: Duration) -> Result<(), TransportError> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut left = self.outstanding.get();
-        left -= self.endpoint.poll_completions().len();
-        while left > 0 {
+        let mut outstanding = self.outstanding.borrow_mut();
+        for ev in self.endpoint.poll_completions() {
+            outstanding.remove(&ev.handle);
+        }
+        while !outstanding.is_empty() {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
-                self.outstanding.set(left);
                 return Err(TransportError::Timeout);
             }
-            self.endpoint.wait_completion(remaining)?;
-            left -= 1;
+            let ev = self.endpoint.wait_completion(remaining)?;
+            outstanding.remove(&ev.handle);
         }
-        self.outstanding.set(0);
         Ok(())
+    }
+
+    /// Exposures not yet confirmed pulled.
+    pub fn outstanding_writes(&self) -> usize {
+        self.outstanding.borrow().len()
+    }
+
+    /// Withdraw every exposure the staging area hasn't pulled, freeing
+    /// the pinned bytes and terminally marking each dump's lineage
+    /// [`Truncated`](obs::lineage::Stage::Truncated). Returns how many
+    /// exposures were withdrawn. Dumps whose pull already won the race
+    /// stay tracked — their completions drain normally.
+    ///
+    /// This is the client half of the degradation ladder: before
+    /// falling back to a synchronous in-compute write of the same data,
+    /// the abandoned staged copy must stop costing compute-node memory.
+    pub fn reclaim_outstanding(&self) -> usize {
+        let mut outstanding = self.outstanding.borrow_mut();
+        for ev in self.endpoint.poll_completions() {
+            outstanding.remove(&ev.handle);
+        }
+        let src = self.rank() as u64;
+        let mut reclaimed = 0usize;
+        let mut reclaimed_bytes = 0u64;
+        outstanding.retain(|&handle, &mut (bytes, step)| {
+            match self.endpoint.reclaim(handle) {
+                Some(n) => {
+                    debug_assert_eq!(n, bytes);
+                    obs::lineage::truncate(src, step);
+                    reclaimed += 1;
+                    reclaimed_bytes += n as u64;
+                    false
+                }
+                // Pulled between the poll above and now: the completion
+                // path owns the accounting.
+                None => true,
+            }
+        });
+        if reclaimed > 0 {
+            obs::global()
+                .counter("client.reclaimed_bytes", &[])
+                .add(reclaimed_bytes);
+        }
+        reclaimed
     }
 }
 

@@ -32,6 +32,10 @@
 //! * [`incompute::InComputeRunner`] — the baseline placement: the same
 //!   operators executed synchronously on the compute ranks themselves
 //!   (the paper's "In-Compute-Node configuration").
+//! * [`resilient::ResilientClient`] — the degradation ladder: staged
+//!   writes with retry, truncation on exhaustion, and automatic
+//!   fallback to the in-compute placement while staging is unhealthy
+//!   (DESIGN.md §3.3, `docs/OPERATIONS.md` for the knobs).
 //! * [`ops`] — the operators evaluated in the paper: particle **sort**,
 //!   **histogram**, **2-D histogram** (GTC), array layout
 //!   **re-organization** (Pixie3D), plus the **bitmap index** used by
@@ -87,6 +91,7 @@ pub mod client;
 pub mod incompute;
 pub mod op;
 pub mod ops;
+pub mod resilient;
 pub mod schema;
 pub mod staging;
 
@@ -95,4 +100,5 @@ pub use chunk::PackedChunk;
 pub use client::PredataClient;
 pub use incompute::InComputeRunner;
 pub use op::{OpResult, StreamOp, Tagged};
+pub use resilient::{DegradePolicy, ResilientClient, StepOutcome};
 pub use staging::{StagingArea, StagingConfig, StepReport};

@@ -55,7 +55,7 @@ use transport::evq::{EventQueue, PollError};
 
 use ffs::AttrList;
 use minimpi::{Comm, World};
-use transport::{FetchRequest, PullPolicy, Router, StagingEndpoint, TransportError};
+use transport::{FetchRequest, PullPolicy, RetryPolicy, Router, StagingEndpoint, TransportError};
 
 use crate::agg::Aggregates;
 use crate::chunk::{ChunkError, PackedChunk};
@@ -119,7 +119,21 @@ impl std::fmt::Display for StagingError {
     }
 }
 
-impl std::error::Error for StagingError {}
+impl std::error::Error for StagingError {
+    /// The wrapped transport/decode/io failure, so error chains render
+    /// across crate boundaries (`anyhow`-style `{:#}` displays and the
+    /// report's failure column both walk `source()`).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StagingError::Transport(e) => Some(e),
+            StagingError::Chunk(e) => Some(e),
+            StagingError::Io(e) => Some(e),
+            StagingError::StepSkew { .. }
+            | StagingError::WorkerPanicked(_)
+            | StagingError::SlotMissing { .. } => None,
+        }
+    }
+}
 
 impl From<TransportError> for StagingError {
     fn from(e: TransportError) -> Self {
@@ -161,11 +175,27 @@ enum WorkerOut {
     },
     DecodeErr(ChunkError),
     PullErr(TransportError),
+    /// The chunk's pull exhausted its retries on a *transient* error:
+    /// the step continues without it (degradation ladder rung 1).
+    Skipped {
+        idx: usize,
+        src_rank: usize,
+    },
 }
 
 /// A collected chunk's contribution: source rank, pulled bytes, per-op
 /// mapper output.
 type ChunkSlot = (usize, u64, Vec<Vec<Tagged>>);
+
+/// What ended up in one policy-order slot.
+enum SlotOutcome {
+    Mapped(ChunkSlot),
+    /// Pull retries exhausted; the chunk is excluded from the merge and
+    /// its lineage marked [`obs::lineage::Stage::Truncated`].
+    Skipped {
+        src_rank: usize,
+    },
+}
 
 /// Static configuration of the staging area.
 #[derive(Clone)]
@@ -176,6 +206,9 @@ pub struct StagingConfig {
     pub out_dir: PathBuf,
     /// Deadline for gathering one step's requests.
     pub gather_timeout: Duration,
+    /// Retry policy for fetch-request receives and `rdma_get` pulls
+    /// (`PREDATA_RETRY`; its deadline is the per-step pull budget).
+    pub retry: RetryPolicy,
 }
 
 impl StagingConfig {
@@ -184,6 +217,7 @@ impl StagingConfig {
             n_compute,
             out_dir: out_dir.into(),
             gather_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::from_env(),
         }
     }
 }
@@ -198,8 +232,19 @@ pub struct StepReport {
     pub bytes_pulled: u64,
     /// Compute ranks in pull order (for scheduling-policy inspection).
     pub pull_order: Vec<usize>,
+    /// Compute ranks whose chunks were abandoned after retry
+    /// exhaustion: the step's outputs exclude them (and say so in
+    /// lineage). Empty on a healthy step.
+    pub truncated: Vec<usize>,
     /// Per-operator results.
     pub results: Vec<OpResult>,
+}
+
+impl StepReport {
+    /// Whether this step ran degraded (some chunks truncated).
+    pub fn is_degraded(&self) -> bool {
+        !self.truncated.is_empty()
+    }
 }
 
 /// One staging rank: endpoint + communicator + operators + policy.
@@ -262,8 +307,16 @@ impl StagingRank {
             }
         }
         self.stashed = keep;
+        // Receives retry in slices of the gather deadline: a missed
+        // slice is a retry (`transport.retries{op=recv}`), the spent
+        // deadline is exhaustion. The overall budget stays
+        // `gather_timeout`, as before retries existed.
+        let recv_retry = self.cfg.retry.clone().deadline(self.cfg.gather_timeout);
+        let recv_slice =
+            (self.cfg.gather_timeout / recv_retry.max_attempts()).max(Duration::from_millis(1));
         while pending.len() < served.len() {
-            let r = match self.endpoint.recv_request(self.cfg.gather_timeout) {
+            let endpoint = &self.endpoint;
+            let r = match recv_retry.run("recv", step, |_| endpoint.recv_request(recv_slice)) {
                 Ok(r) => r,
                 Err(e) => {
                     truncate_lineage(&pending, step);
@@ -315,6 +368,7 @@ impl StagingRank {
         let mut mapped: Vec<Vec<Tagged>> = (0..self.ops.len()).map(|_| Vec::new()).collect();
         let mut bytes_pulled = 0u64;
         let mut pull_order = Vec::with_capacity(n_chunks);
+        let mut truncated = Vec::new();
         let mut pull_err: Option<TransportError> = None;
         let mut decode_err: Option<StagingError> = None;
         if n_chunks > 0 {
@@ -325,7 +379,8 @@ impl StagingRank {
             let n_workers = map_workers().min(n_chunks);
             // slots[i] belongs to pending[i]; filled in completion order,
             // merged in index order.
-            let mut slots: Vec<Option<ChunkSlot>> = (0..n_chunks).map(|_| None).collect();
+            let mut slots: Vec<Option<SlotOutcome>> = (0..n_chunks).map(|_| None).collect();
+            let step_started = Instant::now();
             let work: EventQueue<(usize, usize, Arc<[u8]>)> =
                 EventQueue::bounded(self.policy.max_inflight().max(1));
             let results: EventQueue<WorkerOut> = EventQueue::unbounded();
@@ -335,6 +390,7 @@ impl StagingRank {
             std::thread::scope(|scope| {
                 let endpoint = &self.endpoint;
                 let policy = &self.policy;
+                let retry = &self.cfg.retry;
                 let gather_timeout = self.cfg.gather_timeout;
                 let (work, results) = (&work, &results);
                 let (cancelled, mappers, pending) = (&cancelled, &mappers, &pending);
@@ -360,8 +416,29 @@ impl StagingRank {
                                 t.elapsed().as_nanos() as u64,
                             );
                         }
+                        // Pulls retry under the *step's* remaining
+                        // deadline budget: transient errors (timeouts,
+                        // stale handles, injected faults) back off and
+                        // re-attempt; exhausting them skips this chunk
+                        // — degradation, not abort. Non-retryable
+                        // errors still abandon the step.
+                        let salt = ((req.src_rank as u64) << 32) ^ step;
+                        let remaining = retry
+                            .step_deadline()
+                            .saturating_sub(step_started.elapsed())
+                            .max(Duration::from_millis(1));
+                        let plan = endpoint.fault_plan();
                         let pull_span = obs::span!("pull", step);
-                        match endpoint.rdma_get(req) {
+                        match retry.clone().deadline(remaining).run("pull", salt, |_| {
+                            if let Some(p) = plan {
+                                if let Some(e) =
+                                    p.inject_pull(req.src_rank as u64, step, req.handle)
+                                {
+                                    return Err(e);
+                                }
+                            }
+                            endpoint.rdma_get(req)
+                        }) {
                             // Blocking send parks under back-pressure and
                             // wakes with `Closed` if the step is abandoned.
                             Ok(buf) => {
@@ -369,6 +446,13 @@ impl StagingRank {
                                 if work.send((idx, req.src_rank, buf)).is_err() {
                                     return;
                                 }
+                            }
+                            Err(e) if RetryPolicy::is_retryable(&e) => {
+                                pull_span.cancel();
+                                results.submit(WorkerOut::Skipped {
+                                    idx,
+                                    src_rank: req.src_rank,
+                                });
                             }
                             Err(e) => {
                                 pull_span.cancel();
@@ -462,7 +546,11 @@ impl StagingRank {
                             bytes,
                             per_op,
                         }) => {
-                            slots[idx] = Some((src_rank, bytes, per_op));
+                            slots[idx] = Some(SlotOutcome::Mapped((src_rank, bytes, per_op)));
+                            filled += 1;
+                        }
+                        Some(WorkerOut::Skipped { idx, src_rank }) => {
+                            slots[idx] = Some(SlotOutcome::Skipped { src_rank });
                             filled += 1;
                         }
                         Some(WorkerOut::DecodeErr(e)) => {
@@ -499,16 +587,27 @@ impl StagingRank {
             }
             // Deterministic merge: slot order == policy order, so the
             // concatenated per-operator streams (and everything downstream
-            // of combine) are identical for every worker count.
+            // of combine) are identical for every worker count. Skipped
+            // chunks leave the merge entirely — excluded, counted, and
+            // terminally marked in lineage, never silently half-applied.
             for (index, slot) in slots.into_iter().enumerate() {
-                let Some((src_rank, bytes, per_op)) = slot else {
-                    truncate_lineage(&pending, step);
-                    return Err(StagingError::SlotMissing { index, n_chunks });
-                };
-                pull_order.push(src_rank);
-                bytes_pulled += bytes;
-                for (i, items) in per_op.into_iter().enumerate() {
-                    mapped[i].extend(items);
+                match slot {
+                    None => {
+                        truncate_lineage(&pending, step);
+                        return Err(StagingError::SlotMissing { index, n_chunks });
+                    }
+                    Some(SlotOutcome::Skipped { src_rank }) => {
+                        obs::lineage::truncate(src_rank as u64, step);
+                        obs::global().counter("staging.truncated_chunks", &[]).inc();
+                        truncated.push(src_rank);
+                    }
+                    Some(SlotOutcome::Mapped((src_rank, bytes, per_op))) => {
+                        pull_order.push(src_rank);
+                        bytes_pulled += bytes;
+                        for (i, items) in per_op.into_iter().enumerate() {
+                            mapped[i].extend(items);
+                        }
+                    }
                 }
             }
         }
@@ -535,6 +634,7 @@ impl StagingRank {
             chunks: n_chunks,
             bytes_pulled,
             pull_order,
+            truncated,
             results,
         })
     }

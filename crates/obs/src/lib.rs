@@ -40,6 +40,10 @@
 //!   (schema version 2) and, when tracing is on, appear as per-chunk
 //!   flow arrows in the Chrome trace.
 //!
+//! The full `PREDATA_*` reference — including the transport fault/retry
+//! and client degradation knobs whose counters land in this registry —
+//! is `docs/OPERATIONS.md` at the repository root.
+//!
 //! All variables are read once, lazily; tests use the programmatic
 //! overrides ([`set_enabled`], [`set_metrics_export_path`],
 //! [`lineage::set_enabled`], [`trace::install`]) instead of the

@@ -9,6 +9,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::fault::FaultPlan;
 use crate::request::FetchRequest;
 
 /// Opaque handle to memory exposed for one-sided access.
@@ -113,6 +114,8 @@ struct FabricInner {
     req_tx: Vec<Sender<FetchRequest>>,
     /// Per-compute-rank completion queues.
     comp_tx: Vec<Sender<CompletionEvent>>,
+    /// Deterministic fault-injection schedule, if any (`PREDATA_FAULTS`).
+    faults: Option<Arc<FaultPlan>>,
     /// obs handles, resolved once here so the `rdma_get` hot path is a
     /// relaxed atomic add with no registry lookup.
     obs_get_ns: obs::Histogram,
@@ -129,10 +132,23 @@ impl Fabric {
     /// Build a fabric connecting `n_compute` compute endpoints to
     /// `n_staging` staging endpoints. `pin_budget` bounds the bytes each
     /// compute endpoint may keep exposed at once (None = unlimited).
+    /// Any ambient `PREDATA_FAULTS` schedule is attached.
     pub fn new(
         n_compute: usize,
         n_staging: usize,
         pin_budget: Option<usize>,
+    ) -> (Fabric, Vec<ComputeEndpoint>, Vec<StagingEndpoint>) {
+        Fabric::with_faults(n_compute, n_staging, pin_budget, FaultPlan::from_env())
+    }
+
+    /// [`Fabric::new`] with an explicit fault schedule (`None` = run
+    /// clean even if `PREDATA_FAULTS` is set) — the hook tests use to
+    /// pin a schedule regardless of the environment.
+    pub fn with_faults(
+        n_compute: usize,
+        n_staging: usize,
+        pin_budget: Option<usize>,
+        faults: Option<Arc<FaultPlan>>,
     ) -> (Fabric, Vec<ComputeEndpoint>, Vec<StagingEndpoint>) {
         let (req_tx, req_rx): (Vec<_>, Vec<_>) = (0..n_staging).map(|_| unbounded()).unzip();
         let (comp_tx, comp_rx): (Vec<_>, Vec<_>) = (0..n_compute).map(|_| unbounded()).unzip();
@@ -145,6 +161,7 @@ impl Fabric {
             stats: FabricStats::default(),
             req_tx,
             comp_tx,
+            faults,
             obs_get_ns: obs::global().histogram("transport.rdma_get_ns", &[]),
             obs_get_bytes: obs::global().counter("transport.rdma_get_bytes", &[]),
             obs_pinned_hwm: obs::global().gauge("transport.pinned_bytes", &[]),
@@ -205,6 +222,11 @@ impl ComputeEndpoint {
     /// The buffer stays pinned until a staging node pulls it.
     pub fn expose(&self, buf: Arc<[u8]>, io_step: u64) -> Result<MemHandle, TransportError> {
         let len = buf.len();
+        if let Some(plan) = &self.inner.faults {
+            if let Some(err) = plan.inject_expose(self.rank as u64, io_step, len) {
+                return Err(err);
+            }
+        }
         if let Some(budget) = self.pin_budget {
             let current = self.my_pinned.load(Ordering::Relaxed);
             if current + len > budget {
@@ -268,6 +290,22 @@ impl ComputeEndpoint {
         }
         out
     }
+
+    /// Withdraw an exposure that was never pulled, freeing its pinned
+    /// bytes; returns the reclaimed size. `None` means the registry no
+    /// longer holds the handle — the pull won the race, and the normal
+    /// completion path will release the pin accounting instead. The
+    /// degradation ladder uses this to un-pin abandoned dumps before
+    /// re-writing them through the in-compute fallback.
+    pub fn reclaim(&self, handle: MemHandle) -> Option<usize> {
+        let mut reg = self.inner.registry.lock();
+        let (buf, _step) = reg.exposed.remove(&handle.0)?;
+        let len = buf.len();
+        reg.pinned_bytes -= len;
+        drop(reg);
+        self.my_pinned.fetch_sub(len, Ordering::Relaxed);
+        Some(len)
+    }
 }
 
 /// Staging-node side of the fabric.
@@ -280,6 +318,14 @@ pub struct StagingEndpoint {
 impl StagingEndpoint {
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The fabric's fault schedule, if one is attached. The retrying
+    /// pull loop consults it *before* each [`rdma_get`](Self::rdma_get)
+    /// attempt; the raw fabric call itself never fakes failures, so
+    /// protocol tests stay exact under an ambient `PREDATA_FAULTS`.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.faults.as_ref()
     }
 
     /// Block for the next fetch request, with a deadline.
@@ -457,6 +503,38 @@ mod tests {
                 .unwrap_err(),
             TransportError::Timeout
         );
+    }
+
+    #[test]
+    fn reclaim_frees_pin_budget_without_a_pull() {
+        let (fabric, computes, stagings) = Fabric::new(1, 1, Some(100));
+        let h = computes[0].expose(vec![0u8; 60].into(), 0).unwrap();
+        assert_eq!(computes[0].reclaim(h), Some(60));
+        assert_eq!(computes[0].pinned_bytes(), 0);
+        assert_eq!(fabric.pinned_bytes(), 0);
+        // The exposure is gone: a racing pull sees a stale handle, and a
+        // second reclaim is a no-op (no double-decrement).
+        assert_eq!(
+            stagings[0].rdma_get(&req(0, h, 60)),
+            Err(TransportError::StaleHandle(h))
+        );
+        assert_eq!(computes[0].reclaim(h), None);
+        // The freed budget is usable again.
+        computes[0].expose(vec![0u8; 100].into(), 0).unwrap();
+    }
+
+    #[test]
+    fn attached_fault_plan_faults_expose_only() {
+        let plan = Arc::new(crate::fault::FaultPlan::new(3).pin_exhaustion(1.0));
+        let (_f, computes, stagings) = Fabric::with_faults(1, 1, None, Some(plan));
+        assert!(stagings[0].fault_plan().is_some());
+        let err = computes[0].expose(vec![0u8; 32].into(), 0).unwrap_err();
+        assert!(matches!(err, TransportError::PinBudgetExceeded { .. }));
+        // Pull faults are the *caller's* job: raw rdma_get stays exact.
+        let clean = Arc::new(crate::fault::FaultPlan::new(3).drop_chunks(1.0));
+        let (_f, computes, stagings) = Fabric::with_faults(1, 1, None, Some(clean));
+        let h = computes[0].expose(vec![5u8; 16].into(), 0).unwrap();
+        assert!(stagings[0].rdma_get(&req(0, h, 16)).is_ok());
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! The [`evq`] module provides EVPath-flavoured typed event queues
 //! ("stones") used to chain in-transit processing inside a staging node.
 //!
+//! The transport is also where failures are *made reproducible*: a
+//! seeded [`FaultPlan`] (gated by `PREDATA_FAULTS`, see [`fault`])
+//! injects drop/delay/stale-handle/pin-exhaustion faults on a
+//! deterministic schedule, and [`RetryPolicy`] (gated by
+//! `PREDATA_RETRY`, see [`retry`]) gives pullers exponential backoff
+//! with jitter under a per-step deadline budget. `docs/OPERATIONS.md`
+//! is the authoritative table of these knobs.
+//!
 //! # Example
 //!
 //! Every fabric operation is fallible — `expose` enforces the pin
@@ -60,17 +68,21 @@
 
 pub mod evq;
 mod fabric;
+pub mod fault;
 mod policy;
 mod request;
+pub mod retry;
 mod router;
 
 pub use fabric::{
     CompletionEvent, ComputeEndpoint, Fabric, FabricStats, MemHandle, StagingEndpoint,
     TransportError,
 };
+pub use fault::{FaultKind, FaultPlan};
 pub use policy::{
     CongestionSignal, FifoPolicy, LargestFirstPolicy, PhaseAwarePolicy, PullPolicy,
     RateLimitedPolicy,
 };
 pub use request::FetchRequest;
+pub use retry::RetryPolicy;
 pub use router::{BlockRouter, ModuloRouter, Router};

@@ -1,0 +1,300 @@
+//! Retry with exponential backoff, deterministic jitter, and a
+//! per-step deadline budget.
+//!
+//! PreDatA's staging path is only worth its transport cost while pulls
+//! keep succeeding; a transient fabric hiccup (a dropped get, a handle
+//! advertised a beat before its exposure) should cost a few
+//! milliseconds of backoff, not the whole step. [`RetryPolicy`] is the
+//! single knob for that: how many attempts, how the backoff grows, and
+//! the hard *deadline* after which the step's degradation ladder — not
+//! more retries — takes over.
+//!
+//! Retries are observable, never silent: each re-attempt increments
+//! `transport.retries{op=…}` and giving up increments
+//! `transport.retry_exhausted{op=…}`, so the acceptance bar "transient
+//! faults absorbed" is checkable as `retries > 0 && retry_exhausted ==
+//! 0` on the metrics snapshot.
+//!
+//! # Environment contract
+//!
+//! `PREDATA_RETRY` tunes the process-wide default policy, e.g.
+//! `attempts=6,base_ms=2,max_ms=250,deadline_ms=30000`. `off` (or
+//! `attempts=1`) disables retrying — every transient error is
+//! immediately terminal, which restores the pre-retry behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use transport::{RetryPolicy, TransportError};
+//!
+//! let policy = RetryPolicy::default().attempts(3);
+//! let mut calls = 0;
+//! // Fails twice with a retryable Timeout, then succeeds.
+//! let out = policy.run("pull", 7, |attempt| {
+//!     calls += 1;
+//!     if attempt < 2 { Err(TransportError::Timeout) } else { Ok(attempt) }
+//! });
+//! assert_eq!(out, Ok(2));
+//! assert_eq!(calls, 3);
+//!
+//! // Non-retryable errors surface immediately.
+//! let out: Result<(), _> = policy.run("pull", 7, |_| Err(TransportError::Disconnected));
+//! assert_eq!(out, Err(TransportError::Disconnected));
+//! ```
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::fabric::TransportError;
+
+/// Exponential-backoff retry policy with a deadline budget. See the
+/// [module docs](self) for the `PREDATA_RETRY` grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 1 ms base backoff doubling to a 100 ms cap, 10 s
+    /// deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Set the total attempt count (1 = no retries).
+    pub fn attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Set the first backoff; later backoffs double up to the cap.
+    pub fn base_backoff(mut self, d: Duration) -> Self {
+        self.base_backoff = d;
+        self
+    }
+
+    /// Cap individual backoffs.
+    pub fn max_backoff(mut self, d: Duration) -> Self {
+        self.max_backoff = d;
+        self
+    }
+
+    /// Hard budget across all attempts and backoffs: once spent, no
+    /// further attempts are made even if `max_attempts` remain.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Total attempt count.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The per-step deadline budget.
+    pub fn step_deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Parse a `PREDATA_RETRY` spec. `Ok(None)` means "use the default
+    /// policy" (empty spec); `off`/`0` yields a no-retry policy.
+    pub fn parse(spec: &str) -> Result<Option<RetryPolicy>, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(None);
+        }
+        if matches!(spec, "0" | "off" | "false") {
+            return Ok(Some(RetryPolicy::default().attempts(1)));
+        }
+        let mut policy = RetryPolicy::default();
+        for field in spec.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("retry field `{field}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("retry field `{field}`: {e}");
+            match key {
+                "attempts" => policy.max_attempts = value.parse().map_err(|e| bad(&e))?,
+                "base_ms" => {
+                    policy.base_backoff = Duration::from_millis(value.parse().map_err(|e| bad(&e))?)
+                }
+                "max_ms" => {
+                    policy.max_backoff = Duration::from_millis(value.parse().map_err(|e| bad(&e))?)
+                }
+                "deadline_ms" => {
+                    policy.deadline = Duration::from_millis(value.parse().map_err(|e| bad(&e))?)
+                }
+                _ => return Err(format!("unknown retry field `{key}`")),
+            }
+        }
+        policy.max_attempts = policy.max_attempts.max(1);
+        Ok(Some(policy))
+    }
+
+    /// The process-wide policy from `PREDATA_RETRY`, read once.
+    /// Malformed specs abort loudly.
+    pub fn from_env() -> RetryPolicy {
+        static POLICY: OnceLock<RetryPolicy> = OnceLock::new();
+        POLICY
+            .get_or_init(|| match std::env::var("PREDATA_RETRY") {
+                Ok(spec) => RetryPolicy::parse(&spec)
+                    .unwrap_or_else(|e| panic!("PREDATA_RETRY: {e}"))
+                    .unwrap_or_default(),
+                Err(_) => RetryPolicy::default(),
+            })
+            .clone()
+    }
+
+    /// Whether `err` is worth retrying: timeouts and stale handles are
+    /// transient races (the exposure may land a beat later);
+    /// disconnects and pin-budget refusals are not — retrying cannot
+    /// make a dropped peer or an over-committed budget succeed.
+    pub fn is_retryable(err: &TransportError) -> bool {
+        matches!(
+            err,
+            TransportError::Timeout | TransportError::StaleHandle(_)
+        )
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential
+    /// from the base, capped, with ±25% deterministic jitter derived
+    /// from `salt` so concurrent pullers de-synchronise identically on
+    /// every run.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1))
+            .min(self.max_backoff);
+        let nanos = exp.as_nanos() as u64;
+        let jitter_span = nanos / 4;
+        if jitter_span == 0 {
+            return exp;
+        }
+        let h = splitmix64(salt ^ u64::from(attempt).wrapping_mul(0xA5A5_A5A5));
+        Duration::from_nanos(nanos - jitter_span / 2 + h % jitter_span)
+    }
+
+    /// Run `f` under this policy. `f` gets the 0-based attempt index;
+    /// retryable errors are re-attempted after [`backoff`](Self::backoff)
+    /// until attempts or the deadline budget run out. Each re-attempt
+    /// increments `transport.retries{op}`; giving up on a retryable
+    /// error increments `transport.retry_exhausted{op}` — callers
+    /// translate that into the degradation ladder.
+    pub fn run<T>(
+        &self,
+        op: &'static str,
+        salt: u64,
+        mut f: impl FnMut(u32) -> Result<T, TransportError>,
+    ) -> Result<T, TransportError> {
+        let started = Instant::now();
+        let mut attempt = 0;
+        loop {
+            match f(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if !Self::is_retryable(&e) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    let backoff = self.backoff(attempt, salt);
+                    let exhausted = attempt >= self.max_attempts
+                        || started.elapsed() + backoff >= self.deadline;
+                    if exhausted {
+                        obs::global()
+                            .counter("transport.retry_exhausted", &[("op", op)])
+                            .inc();
+                        return Err(e);
+                    }
+                    obs::global()
+                        .counter("transport.retries", &[("op", op)])
+                        .inc();
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar_and_off() {
+        let p = RetryPolicy::parse("attempts=6, base_ms=2, max_ms=250, deadline_ms=30000")
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.max_attempts(), 6);
+        assert_eq!(p.base_backoff, Duration::from_millis(2));
+        assert_eq!(p.max_backoff, Duration::from_millis(250));
+        assert_eq!(p.step_deadline(), Duration::from_secs(30));
+
+        assert_eq!(
+            RetryPolicy::parse("off").unwrap().unwrap().max_attempts(),
+            1
+        );
+        assert!(RetryPolicy::parse("").unwrap().is_none());
+        assert!(RetryPolicy::parse("attempts=x").is_err());
+        assert!(RetryPolicy::parse("frob=1").is_err());
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_deterministic() {
+        let p = RetryPolicy::default()
+            .base_backoff(Duration::from_millis(4))
+            .max_backoff(Duration::from_millis(20));
+        let b1 = p.backoff(1, 7);
+        let b2 = p.backoff(2, 7);
+        let b5 = p.backoff(5, 7);
+        // Jitter is bounded by ±25% of the exponential value.
+        assert!(b1 >= Duration::from_millis(3) && b1 <= Duration::from_millis(5));
+        assert!(b2 >= Duration::from_millis(6) && b2 <= Duration::from_millis(10));
+        assert!(b5 <= Duration::from_millis(25), "capped at max_backoff+25%");
+        assert_eq!(b1, p.backoff(1, 7), "same salt, same jitter");
+        assert_ne!(p.backoff(1, 8), b1, "different salt de-synchronises");
+    }
+
+    #[test]
+    fn exhaustion_returns_the_last_error() {
+        let p = RetryPolicy::default()
+            .attempts(3)
+            .base_backoff(Duration::from_micros(10));
+        let mut calls = 0;
+        let out: Result<(), _> = p.run("test_exhaust", 1, |_| {
+            calls += 1;
+            Err(TransportError::Timeout)
+        });
+        assert_eq!(out, Err(TransportError::Timeout));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn deadline_budget_cuts_attempts_short() {
+        let p = RetryPolicy::default()
+            .attempts(1000)
+            .base_backoff(Duration::from_millis(5))
+            .max_backoff(Duration::from_millis(5))
+            .deadline(Duration::from_millis(20));
+        let started = Instant::now();
+        let out: Result<(), _> = p.run("test_deadline", 1, |_| Err(TransportError::Timeout));
+        assert_eq!(out, Err(TransportError::Timeout));
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "deadline bounded the loop well under 1000 × 5 ms"
+        );
+    }
+}
