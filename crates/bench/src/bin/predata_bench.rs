@@ -1,0 +1,414 @@
+//! `predata-bench` — the perf-trajectory driver.
+//!
+//! ```text
+//! predata-bench trajectory [--quick] [--check] [--out PATH]
+//! ```
+//!
+//! Runs the `staging_pipeline` scenarios inline (a large-chunk step, and
+//! the many-small-chunks step with and without `PREDATA_PULL_BATCH`
+//! coalescing) plus the deterministic simhec figure models, and emits a
+//! schema-stable `BENCH_<pr>.json` — the checked-in perf trajectory that
+//! later PRs compare themselves against.
+//!
+//! Three kinds of numbers, tagged in the file:
+//!
+//! * `wall` — medians of real wall-clock runs on whatever machine this
+//!   is; recorded for the trajectory, never gated (CI hardware varies).
+//! * `exact` — deterministic counters (fabric transactions, coalesced
+//!   pulls, hot-path copies); change only when behaviour changes.
+//! * `model` — simhec machine-model outputs; bit-deterministic, so any
+//!   drift is a real change to the modelled system.
+//!
+//! `--check` validates every `BENCH_*.json` next to the output path
+//! against the schema and fails (exit 1) when a `model` value regressed
+//! by more than 20% relative to any prior file — the only gate that is
+//! meaningful on shared CI hardware. `--quick` shrinks the wall
+//! scenarios for smoke use; `model` keys are identical in both modes.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use predata_bench::{gtc_config, pixie_config};
+use predata_core::ops::{HistogramOp, MomentsOp};
+use predata_core::schema::make_particle_pg;
+use predata_core::staging::{StagingConfig, StagingRank};
+use predata_core::{PredataClient, StreamOp};
+use simhec::pfs::PfsModel;
+use simhec::scenario::Placement;
+use simhec::{MachineConfig, StagedRun};
+use transport::{BlockRouter, Fabric, FifoPolicy, PullBatch, PullPolicy, Router};
+
+const SCHEMA: &str = "predata-bench-trajectory/v1";
+const PR: u64 = 6;
+
+/// One recorded number: value, kind (`wall`/`exact`/`model`), unit.
+struct Bench {
+    value: f64,
+    kind: &'static str,
+    unit: &'static str,
+}
+
+struct Scenario {
+    n_chunks: usize,
+    rows_per_chunk: usize,
+    batch: Option<PullBatch>,
+}
+
+fn ops() -> Vec<Box<dyn StreamOp>> {
+    vec![
+        Box::new(HistogramOp::all_attrs(64)),
+        Box::new(MomentsOp::new(vec![0, 1, 2])),
+    ]
+}
+
+/// Deterministic scattered rows (same generator as the Criterion bench).
+fn dump(rank: u64, rows_per_chunk: usize) -> Vec<f64> {
+    let mut s = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut rows = Vec::with_capacity(rows_per_chunk * 8);
+    for id in 0..rows_per_chunk as u64 {
+        for _ in 0..6 {
+            rows.push(next() * 16.0 - 8.0);
+        }
+        rows.push(rank as f64);
+        rows.push(id as f64);
+    }
+    rows
+}
+
+/// Build a single-rank staging setup with every dump already written,
+/// ready for one `run_step`.
+fn staged_step(dir: &Path, sc: &Scenario) -> (Fabric, StagingRank) {
+    let (fabric, computes, mut stagings) = Fabric::new(sc.n_chunks, 1, None);
+    let router: Arc<dyn Router> = Arc::new(BlockRouter::new(sc.n_chunks, 1));
+    for (r, e) in computes.into_iter().enumerate() {
+        let client = PredataClient::new(
+            e,
+            Arc::clone(&router),
+            vec![Arc::new(HistogramOp::all_attrs(64))],
+        );
+        client
+            .write_pg(make_particle_pg(
+                r as u64,
+                0,
+                dump(r as u64, sc.rows_per_chunk),
+            ))
+            .unwrap();
+    }
+    let mut cfg = StagingConfig::new(sc.n_chunks, dir);
+    cfg.pull_batch = sc.batch.clone();
+    let (_world, mut comms) = minimpi::World::with_size(1);
+    let rank = StagingRank::new(
+        comms.remove(0),
+        stagings.remove(0),
+        router,
+        Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>,
+        ops(),
+        cfg,
+    )
+    .expect("staging rank starts");
+    (fabric, rank)
+}
+
+/// Median wall-clock of `iters` fresh `run_step`s, in milliseconds,
+/// plus the fabric-transaction count of one run (an `exact` number).
+fn measure(dir: &Path, sc: &Scenario, iters: usize) -> (f64, u64) {
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let (_fabric, mut rank) = staged_step(dir, sc);
+            let started = Instant::now();
+            rank.run_step(0).expect("step succeeds");
+            started.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let (fabric, mut rank) = staged_step(dir, sc);
+    rank.run_step(0).expect("step succeeds");
+    (median, fabric.stats().rdma_gets())
+}
+
+fn counter(name: &str) -> u64 {
+    obs::global()
+        .snapshot()
+        .counter(name, &[])
+        .unwrap_or_default()
+}
+
+fn run_trajectory(quick: bool) -> BTreeMap<String, Bench> {
+    let mut out: BTreeMap<String, Bench> = BTreeMap::new();
+    let mut put = |k: &str, value: f64, kind: &'static str, unit: &'static str| {
+        out.insert(k.to_string(), Bench { value, kind, unit });
+    };
+    let dir = std::env::temp_dir().join(format!("predata-trajectory-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // --- wall: the staging_pipeline scenarios ---
+    let iters = if quick { 3 } else { 7 };
+    let (large_chunks, large_rows) = if quick { (4, 2048) } else { (16, 16 * 1024) };
+    let (small_chunks, small_rows) = if quick { (32, 128) } else { (128, 256) };
+    let batch = PullBatch::new(64 * 1024, 16);
+
+    eprintln!("trajectory: staging_step large ({large_chunks} x {large_rows} rows)...");
+    let (large_ms, _) = measure(
+        &dir,
+        &Scenario {
+            n_chunks: large_chunks,
+            rows_per_chunk: large_rows,
+            batch: None,
+        },
+        iters,
+    );
+    put("staging_step_large_ms", large_ms, "wall", "ms");
+
+    eprintln!("trajectory: staging_step small ({small_chunks} x {small_rows} rows), unbatched...");
+    let (small_ms, small_gets) = measure(
+        &dir,
+        &Scenario {
+            n_chunks: small_chunks,
+            rows_per_chunk: small_rows,
+            batch: None,
+        },
+        iters,
+    );
+    put("staging_step_small_ms", small_ms, "wall", "ms");
+    put(
+        "small_unbatched_rdma_gets",
+        small_gets as f64,
+        "exact",
+        "gets",
+    );
+
+    eprintln!("trajectory: staging_step small, PREDATA_PULL_BATCH on...");
+    let coalesced_before = counter("transport.pulls_coalesced");
+    let copied_before = counter("predata.bytes_copied");
+    let (batched_ms, batched_gets) = measure(
+        &dir,
+        &Scenario {
+            n_chunks: small_chunks,
+            rows_per_chunk: small_rows,
+            batch: Some(batch),
+        },
+        iters,
+    );
+    put("staging_step_small_batched_ms", batched_ms, "wall", "ms");
+    put(
+        "small_batched_rdma_gets",
+        batched_gets as f64,
+        "exact",
+        "gets",
+    );
+    // Coalesced count for ONE batched step (iters + 1 instrumented runs
+    // executed above, all identical by construction).
+    let coalesced = (counter("transport.pulls_coalesced") - coalesced_before) / (iters as u64 + 1);
+    put(
+        "small_batched_pulls_coalesced",
+        coalesced as f64,
+        "exact",
+        "pulls",
+    );
+    // The zero-copy acceptance bar: the output path never re-copies a
+    // result buffer on little-endian targets.
+    put(
+        "output_path_bytes_copied",
+        (counter("predata.bytes_copied") - copied_before) as f64,
+        "exact",
+        "bytes",
+    );
+    put(
+        "small_chunk_batch_speedup",
+        small_ms / batched_ms.max(1e-9),
+        "wall",
+        "x",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- model: the deterministic simhec figure numbers ---
+    eprintln!("trajectory: simhec figure models...");
+    for cores in [512usize, 16_384] {
+        let staged = StagedRun::run(&gtc_config(cores, Placement::Staging));
+        put(
+            &format!("gtc_staged_total_s_{cores}"),
+            staged.total_time,
+            "model",
+            "s",
+        );
+    }
+    let incompute = StagedRun::run(&gtc_config(512, Placement::InComputeNode));
+    put(
+        "gtc_incompute_total_s_512",
+        incompute.total_time,
+        "model",
+        "s",
+    );
+    let pixie = StagedRun::run(&pixie_config(256, Placement::Staging));
+    put("pixie_staged_total_s_256", pixie.total_time, "model", "s");
+    // Fig. 11's merged-vs-unmerged read advantage at 32 reader cores.
+    let machine = MachineConfig::xt4_like();
+    let pfs = PfsModel::new(machine.pfs.clone(), 7);
+    let readers = 32usize;
+    let unmerged = pfs.read_time_ideal(10e9 / readers as f64, readers, 4096 / readers as u64);
+    let merged = pfs.read_time_ideal(10e9 / readers as f64, readers, 1);
+    put(
+        "fig11_read_speedup_32readers",
+        unmerged / merged,
+        "model",
+        "x",
+    );
+    out
+}
+
+/// Serialize in a fixed, diff-friendly layout (keys sorted by the
+/// BTreeMap, one bench per line).
+fn render(benches: &BTreeMap<String, Bench>, quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"pr\": {PR},\n"));
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    s.push_str("  \"benches\": {\n");
+    let n = benches.len();
+    for (i, (k, b)) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{k}\": {{\"value\": {:.6}, \"kind\": \"{}\", \"unit\": \"{}\"}}{}\n",
+            b.value,
+            b.kind,
+            b.unit,
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Validate one trajectory file's shape; returns its benches as
+/// `name -> (value, kind)`.
+fn load(path: &Path) -> Result<BTreeMap<String, (f64, String)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v = serde_json::from_str(&text).map_err(|e| format!("{}: {e:?}", path.display()))?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or_else(|| format!("{}: missing \"schema\"", path.display()))?;
+    if !schema.starts_with("predata-bench-trajectory/") {
+        return Err(format!("{}: unknown schema `{schema}`", path.display()));
+    }
+    v.get("pr")
+        .and_then(|p| p.as_u64())
+        .ok_or_else(|| format!("{}: missing \"pr\"", path.display()))?;
+    let benches = v
+        .get("benches")
+        .and_then(|b| b.as_object())
+        .ok_or_else(|| format!("{}: missing \"benches\" object", path.display()))?;
+    let mut out = BTreeMap::new();
+    for (name, bench) in benches.iter() {
+        let value = bench
+            .get("value")
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("{}: bench `{name}` has no numeric value", path.display()))?;
+        let kind = bench
+            .get("kind")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| format!("{}: bench `{name}` has no kind", path.display()))?;
+        out.insert(name.clone(), (value, kind.to_string()));
+    }
+    Ok(out)
+}
+
+/// Compare fresh results against every `BENCH_*.json` in the current
+/// directory (the repo root, where trajectory files are checked in):
+/// schema-validate each, and fail on a >20% drift of any shared `model`
+/// value in either direction — model numbers are deterministic and
+/// should not move at all without a code change.
+fn check(benches: &BTreeMap<String, Bench>) -> Result<(), String> {
+    let dir = PathBuf::from(".");
+    let mut prior: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    prior.sort();
+    if prior.is_empty() {
+        eprintln!("check: no prior BENCH_*.json — nothing to compare against");
+        return Ok(());
+    }
+    let mut failures = Vec::new();
+    for path in &prior {
+        let baseline = load(path)?;
+        let mut compared = 0;
+        for (name, (old, kind)) in &baseline {
+            if kind != "model" {
+                continue;
+            }
+            let Some(new) = benches.get(name).filter(|b| b.kind == "model") else {
+                continue;
+            };
+            compared += 1;
+            let ratio = if *old != 0.0 { new.value / old } else { 1.0 };
+            if !(0.8..=1.2).contains(&ratio) {
+                failures.push(format!(
+                    "{name}: {old:.4} -> {:.4} ({:+.1}%) vs {}",
+                    new.value,
+                    (ratio - 1.0) * 100.0,
+                    path.display()
+                ));
+            }
+        }
+        eprintln!(
+            "check: {} — schema ok, {compared} model value(s) compared",
+            path.display()
+        );
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("model regressions:\n  {}", failures.join("\n  ")))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    if mode != Some("trajectory") {
+        eprintln!("usage: predata-bench trajectory [--quick] [--check] [--out PATH]");
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let do_check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{PR}.json")));
+
+    let benches = run_trajectory(quick);
+    if do_check {
+        if let Err(e) = check(&benches) {
+            eprintln!("trajectory check FAILED: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trajectory check passed");
+    }
+    let rendered = render(&benches, quick);
+    std::fs::write(&out_path, &rendered).expect("write trajectory file");
+    println!("wrote {}", out_path.display());
+    for (k, b) in &benches {
+        println!("  {k:<34} {:>14.4} {} [{}]", b.value, b.unit, b.kind);
+    }
+}

@@ -87,6 +87,45 @@ impl DataArray {
         out
     }
 
+    /// Little-endian payload bytes, borrowed when possible.
+    ///
+    /// On little-endian targets (every platform this runs on in
+    /// practice) the in-memory element buffer *is* the wire encoding,
+    /// so this returns a borrowed byte view of it — the writer hands
+    /// the view straight to a vectored write and the payload is never
+    /// re-assembled. Other targets fall back to the byte-swapping copy
+    /// of [`DataArray::to_le_bytes`], counted in the
+    /// `predata.bytes_copied` counter so the copy stays visible.
+    pub fn as_le_bytes(&self) -> std::borrow::Cow<'_, [u8]> {
+        #[cfg(target_endian = "little")]
+        {
+            fn view<T>(v: &[T]) -> &[u8] {
+                // Safety: T is a primitive numeric type (f32/f64/iN/uN):
+                // no padding, no invalid byte patterns, and the slice
+                // spans exactly len * size_of::<T>() initialized bytes.
+                unsafe {
+                    std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v))
+                }
+            }
+            std::borrow::Cow::Borrowed(match self {
+                DataArray::F32(v) => view(v),
+                DataArray::F64(v) => view(v),
+                DataArray::I32(v) => view(v),
+                DataArray::I64(v) => view(v),
+                DataArray::U32(v) => view(v),
+                DataArray::U64(v) => view(v),
+            })
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            let bytes = self.to_le_bytes();
+            obs::global()
+                .counter("predata.bytes_copied", &[("site", "bpio.byteswap")])
+                .add(bytes.len() as u64);
+            std::borrow::Cow::Owned(bytes)
+        }
+    }
+
     /// Decode from little-endian payload bytes.
     pub fn from_le_bytes(dtype: Dtype, bytes: &[u8]) -> Result<DataArray> {
         if !bytes.len().is_multiple_of(dtype.size()) {
@@ -380,6 +419,22 @@ mod tests {
             let back = DataArray::from_le_bytes(a.dtype(), &bytes).unwrap();
             assert_eq!(a, back);
         }
+    }
+
+    #[test]
+    fn as_le_bytes_matches_owned_encoding() {
+        let arrays = [
+            DataArray::F32(vec![1.5, -2.5]),
+            DataArray::F64(vec![1.0e300, -0.5]),
+            DataArray::I32(vec![i32::MIN, 7]),
+            DataArray::I64(vec![i64::MAX, -1]),
+            DataArray::U32(vec![0, u32::MAX]),
+            DataArray::U64(vec![u64::MAX, 42]),
+        ];
+        for a in arrays {
+            assert_eq!(&a.as_le_bytes()[..], &a.to_le_bytes()[..]);
+        }
+        assert_eq!(&DataArray::F64(vec![]).as_le_bytes()[..], &[] as &[u8]);
     }
 
     #[test]

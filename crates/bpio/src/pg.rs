@@ -167,12 +167,52 @@ impl ProcessGroup {
             w.dims(&v.local);
             w.dims(&v.global);
             w.dims(&v.offset);
-            let payload = v.data.to_le_bytes();
-            w.u64(payload.len() as u64);
+            w.u64(v.data.byte_len() as u64);
             offsets.push(w.0.len() as u64);
-            w.0.extend_from_slice(&payload);
+            w.0.extend_from_slice(&v.data.as_le_bytes());
         }
         (w.0, offsets)
+    }
+
+    /// The PG block as a sequence of write segments that *borrow* each
+    /// variable's payload: small owned header pieces interleaved with
+    /// byte views of the [`DataArray`] buffers ([`DataArray::as_le_bytes`]).
+    /// Concatenated, the segments are byte-identical to
+    /// [`ProcessGroup::encode_indexed`]'s block; the writer hands them to
+    /// one vectored write, so payloads go from the operator's buffers to
+    /// the file without ever being assembled into a contiguous block.
+    ///
+    /// Returns `(segments, payload_offsets, total_len)`; offsets are
+    /// relative to the block start, exactly as in `encode_indexed`.
+    #[allow(clippy::type_complexity)]
+    pub fn encode_parts(&self) -> (Vec<std::borrow::Cow<'_, [u8]>>, Vec<u64>, u64) {
+        use std::borrow::Cow;
+        let mut segments: Vec<Cow<'_, [u8]>> = Vec::with_capacity(1 + 2 * self.vars.len());
+        let mut offsets = Vec::with_capacity(self.vars.len());
+        let mut pos;
+        let mut w = W::new();
+        w.s(&self.group);
+        w.u64(self.writer_rank);
+        w.u64(self.step);
+        w.u32(self.vars.len() as u32);
+        pos = w.0.len() as u64;
+        segments.push(Cow::Owned(w.0));
+        for v in &self.vars {
+            let mut h = W::new();
+            h.s(&v.name);
+            h.u8(v.dtype.tag());
+            h.dims(&v.local);
+            h.dims(&v.global);
+            h.dims(&v.offset);
+            h.u64(v.data.byte_len() as u64);
+            pos += h.0.len() as u64;
+            segments.push(Cow::Owned(h.0));
+            offsets.push(pos);
+            let payload = v.data.as_le_bytes();
+            pos += payload.len() as u64;
+            segments.push(payload);
+        }
+        (segments, offsets, pos)
     }
 
     /// Decode a block produced by [`ProcessGroup::encode`].
@@ -288,6 +328,24 @@ mod tests {
         let buf = pg.encode();
         let back = ProcessGroup::decode(&buf).unwrap();
         assert_eq!(back, pg);
+    }
+
+    #[test]
+    fn encode_parts_concatenates_to_encode_indexed() {
+        let g = grid_group();
+        let mut pg = ProcessGroup::new("grid", 7, 3);
+        pg.write(&g, "n", DataArray::U64(vec![2])).unwrap();
+        pg.write(&g, "off", DataArray::U64(vec![4])).unwrap();
+        pg.write(&g, "field", DataArray::F64(vec![0.5, -0.5]))
+            .unwrap();
+        let (block, offsets) = pg.encode_indexed();
+        let (segments, part_offsets, total) = pg.encode_parts();
+        let concat: Vec<u8> = segments.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(concat, block);
+        assert_eq!(part_offsets, offsets);
+        assert_eq!(total, block.len() as u64);
+        // 1 leading header + (header, payload) per var.
+        assert_eq!(segments.len(), 1 + 2 * pg.vars.len());
     }
 
     #[test]

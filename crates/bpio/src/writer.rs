@@ -12,7 +12,7 @@
 //!   extents.
 
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{IoSlice, Write};
 use std::path::{Path, PathBuf};
 
 use crate::error::Result;
@@ -20,9 +20,51 @@ use crate::index::{FileIndex, PgEntry, VarEntry};
 use crate::pg::ProcessGroup;
 use crate::FILE_MAGIC;
 
+/// Write every byte of `bufs` to `out` using vectored writes.
+///
+/// The manual loop exists because `write_all_vectored` is unstable: a
+/// short write is handled by rebuilding the remaining slice list (first
+/// slice trimmed by the partial count) and retrying. `Interrupted` is
+/// retried like `write_all` does.
+fn write_all_vectored(out: &mut File, bufs: &[&[u8]]) -> std::io::Result<()> {
+    let mut remaining: Vec<&[u8]> = bufs.iter().copied().filter(|b| !b.is_empty()).collect();
+    while !remaining.is_empty() {
+        let slices: Vec<IoSlice<'_>> = remaining.iter().map(|b| IoSlice::new(b)).collect();
+        let mut n = match out.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole buffer",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let mut next = Vec::with_capacity(remaining.len());
+        for b in remaining {
+            if n >= b.len() {
+                n -= b.len();
+            } else {
+                next.push(&b[n..]);
+                n = 0;
+            }
+        }
+        remaining = next;
+    }
+    Ok(())
+}
+
 /// Streaming writer for one BP-like file.
+///
+/// Writes are vectored ([`File::write_vectored`]) over the caller's
+/// buffers: a process group goes to disk as its header segments plus
+/// byte views of each variable's [`crate::DataArray`] — the block is
+/// never assembled in memory, so appending a PG moves each payload
+/// buffer zero times (on little-endian targets) between the operator
+/// that produced it and the file.
 pub struct BpWriter {
-    out: BufWriter<File>,
+    out: File,
     path: PathBuf,
     pos: u64,
     index: FileIndex,
@@ -33,7 +75,7 @@ impl BpWriter {
     /// Create (truncate) `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<BpWriter> {
         let path = path.as_ref().to_path_buf();
-        let out = BufWriter::new(File::create(&path)?);
+        let out = File::create(&path)?;
         Ok(BpWriter {
             out,
             path,
@@ -62,23 +104,26 @@ impl BpWriter {
     }
 
     /// Append one process group and record its chunks in the index.
+    /// One vectored write: headers + borrowed payload views, no
+    /// contiguous block assembly.
     pub fn append_pg(&mut self, pg: &ProcessGroup) -> Result<()> {
-        let (block, payload_offsets) = pg.encode_indexed();
+        let (segments, payload_offsets, block_len) = pg.encode_parts();
         let base = self.pos;
-        self.out.write_all(&block)?;
-        self.pos += block.len() as u64;
+        let slices: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+        write_all_vectored(&mut self.out, &slices)?;
+        self.pos += block_len;
         obs::global()
             .counter("bpio.bytes_written", &[])
-            .add(block.len() as u64);
+            .add(block_len);
         // Record-if-tracked: for per-chunk outputs `writer_rank` names a
         // source chunk and closes its lineage; merged outputs are keyed
         // by the staging rank, which must not invent a phantom chunk.
-        obs::lineage::record_write(pg.writer_rank, pg.step, block.len() as u64);
+        obs::lineage::record_write(pg.writer_rank, pg.step, block_len);
         self.index.pgs.push(PgEntry {
             writer_rank: pg.writer_rank,
             step: pg.step,
             offset: base,
-            length: block.len() as u64,
+            length: block_len,
         });
         for (v, poff) in pg.vars.iter().zip(payload_offsets) {
             let (min, max) = v.data.min_max().unwrap_or((f64::NAN, f64::NAN));
@@ -100,13 +145,13 @@ impl BpWriter {
     }
 
     /// Write the footer index and close the file. Layout:
-    /// `[PG blocks…][index][index_len: u64][magic: 4]`.
+    /// `[PG blocks…][index][index_len: u64][magic: 4]`, emitted as a
+    /// single vectored write.
     pub fn finish(mut self) -> Result<FileIndex> {
         let started = obs::enabled().then(std::time::Instant::now);
         let idx = self.index.encode();
-        self.out.write_all(&idx)?;
-        self.out.write_all(&(idx.len() as u64).to_le_bytes())?;
-        self.out.write_all(&FILE_MAGIC)?;
+        let idx_len = (idx.len() as u64).to_le_bytes();
+        write_all_vectored(&mut self.out, &[&idx, &idx_len, &FILE_MAGIC])?;
         self.out.flush()?;
         if let Some(t) = started {
             // Footer + flush latency: the "fsync" tail of a staged write.

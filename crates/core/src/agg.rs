@@ -25,13 +25,21 @@ impl Aggregates {
     /// Exchange locally-gathered `(compute_rank, attrs)` pairs across the
     /// staging communicator so every rank sees all of them. Collective.
     pub fn build(local: &[(usize, AttrList)], comm: &Comm) -> Aggregates {
-        // Encode local pairs: [rank u64][len u32][attr bytes] …
-        let mut buf = Vec::new();
-        for (rank, attrs) in local {
-            let bytes = attrs.to_bytes().expect("request attrs fit the budget");
+        // Encode local pairs: [rank u64][len u32][attr bytes] …, into an
+        // exact-sized buffer (encode the attr lists first, then sum).
+        let encoded: Vec<(usize, Vec<u8>)> = local
+            .iter()
+            .map(|(rank, attrs)| {
+                let bytes = attrs.to_bytes().expect("request attrs fit the budget");
+                (*rank, bytes)
+            })
+            .collect();
+        let total: usize = encoded.iter().map(|(_, b)| 12 + b.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for (rank, bytes) in &encoded {
             buf.extend_from_slice(&(*rank as u64).to_le_bytes());
             buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            buf.extend_from_slice(&bytes);
+            buf.extend_from_slice(bytes);
         }
         let all = comm.allgather(buf);
         let mut per_rank = BTreeMap::new();

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use ffs::AttrList;
 use minimpi::Comm;
 
@@ -21,16 +22,22 @@ use crate::chunk::PackedChunk;
 
 /// A tagged intermediate result emitted by `map` and routed by
 /// `partition`. The payload is operator-defined bytes: operators own
-/// their intermediate encoding, exactly as in MapReduce.
+/// their intermediate encoding, exactly as in MapReduce. The payload is
+/// a shared [`Bytes`] buffer, so routing, shuffling, and regrouping move
+/// reference counts, never contents — an operator serializes a result
+/// exactly once, into a pre-sized `Vec<u8>` that is handed over whole.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tagged {
     pub tag: u64,
-    pub bytes: Vec<u8>,
+    pub bytes: Bytes,
 }
 
 impl Tagged {
-    pub fn new(tag: u64, bytes: Vec<u8>) -> Self {
-        Tagged { tag, bytes }
+    pub fn new(tag: u64, bytes: impl Into<Bytes>) -> Self {
+        Tagged {
+            tag,
+            bytes: bytes.into(),
+        }
     }
 }
 
@@ -180,7 +187,10 @@ pub trait StreamOp: Send {
     }
 
     /// Fold all intermediates for one owned tag (local + shuffled-in).
-    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, ctx: &OpCtx);
+    /// Items arrive as shared [`Bytes`] views of the buffers the mappers
+    /// serialized — `&item[..]` is the payload; nothing was re-framed in
+    /// transit.
+    fn reduce(&mut self, tag: u64, items: Vec<Bytes>, ctx: &OpCtx);
 
     /// Emit results (files, statistics) and reset per-step state.
     fn finalize(&mut self, ctx: &OpCtx) -> OpResult;
@@ -188,16 +198,24 @@ pub trait StreamOp: Send {
 
 /// Exchange tagged intermediates among pipeline ranks: every item lands
 /// on `op.partition(tag)`'s rank, grouped by tag. Collective over `comm`.
+///
+/// Zero-copy: items are routed into per-destination buckets of
+/// `(tag, Bytes)` pairs and exchanged as-is — the shared buffers move
+/// through the communicator by reference count, with no wire framing to
+/// serialize on the way out or parse (and re-copy) on the way in. The
+/// traffic counters still see framed sizes (see the `minimpi` impl of
+/// `MpiData` for buckets), so bandwidth numbers stay comparable with
+/// the serialized encoding this replaced.
 pub fn shuffle_tagged(
     items: Vec<Tagged>,
     op: &dyn StreamOp,
     comm: &Comm,
-) -> BTreeMap<u64, Vec<Vec<u8>>> {
+) -> BTreeMap<u64, Vec<Bytes>> {
     let n = comm.size();
-    // First pass: route every item and pre-size the per-destination
-    // buckets so serialization below never reallocates.
+    // First pass: route every item and count per-destination items so
+    // the buckets below never reallocate.
     let mut routed = Vec::with_capacity(items.len());
-    let mut bucket_bytes = vec![0usize; n];
+    let mut bucket_items = vec![0usize; n];
     let mut misrouted = 0usize;
     for item in &items {
         let dst = op.partition(item.tag, n);
@@ -212,7 +230,7 @@ pub fn shuffle_tagged(
             dst % n
         };
         routed.push(dst);
-        bucket_bytes[dst] += 12 + item.bytes.len();
+        bucket_items[dst] += 1;
     }
     if misrouted > 0 {
         eprintln!(
@@ -221,31 +239,20 @@ pub fn shuffle_tagged(
             op.name()
         );
     }
-    // Second pass: serialize [tag u64][len u32][bytes]… into exact-sized
-    // buffers.
-    let mut buckets: Vec<Vec<u8>> = bucket_bytes
+    // Second pass: move each item's payload into its bucket.
+    let mut buckets: Vec<Vec<(u64, Bytes)>> = bucket_items
         .iter()
-        .map(|&sz| Vec::with_capacity(sz))
+        .map(|&cnt| Vec::with_capacity(cnt))
         .collect();
     for (item, dst) in items.into_iter().zip(routed) {
-        let b = &mut buckets[dst];
-        b.extend_from_slice(&item.tag.to_le_bytes());
-        b.extend_from_slice(&(item.bytes.len() as u32).to_le_bytes());
-        b.extend_from_slice(&item.bytes);
+        buckets[dst].push((item.tag, item.bytes));
     }
-    let received = comm.alltoallv(buckets);
-    let mut grouped: BTreeMap<u64, Vec<Vec<u8>>> = BTreeMap::new();
-    for blob in received {
-        let mut pos = 0;
-        while pos + 12 <= blob.len() {
-            let tag = u64::from_le_bytes(blob[pos..pos + 8].try_into().unwrap());
-            let len = u32::from_le_bytes(blob[pos + 8..pos + 12].try_into().unwrap()) as usize;
-            pos += 12;
-            grouped
-                .entry(tag)
-                .or_default()
-                .push(blob[pos..pos + len].to_vec());
-            pos += len;
+    let received = comm.alltoall(buckets);
+    // Regroup by tag — again by move; payload bytes are untouched.
+    let mut grouped: BTreeMap<u64, Vec<Bytes>> = BTreeMap::new();
+    for bucket in received {
+        for (tag, bytes) in bucket {
+            grouped.entry(tag).or_default().push(bytes);
         }
     }
     grouped
@@ -328,7 +335,7 @@ mod tests {
             }
             Arc::new(NoMap)
         }
-        fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+        fn reduce(&mut self, tag: u64, items: Vec<Bytes>, _ctx: &OpCtx) {
             let sum = items
                 .iter()
                 .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
@@ -386,7 +393,7 @@ mod tests {
             // Off-by-a-lot: always out of range for n_ranks = 4.
             tag as usize + n_ranks
         }
-        fn reduce(&mut self, _tag: u64, _items: Vec<Vec<u8>>, _ctx: &OpCtx) {}
+        fn reduce(&mut self, _tag: u64, _items: Vec<Bytes>, _ctx: &OpCtx) {}
         fn finalize(&mut self, _ctx: &OpCtx) -> OpResult {
             OpResult::default()
         }

@@ -203,7 +203,15 @@ impl BitmapIndex {
     }
 
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        // Exact size: 28-byte header + each bin's [len_bits u64][n u32]
+        // [runs (u32, u64)…] encoding.
+        let total = 28
+            + self
+                .bins
+                .iter()
+                .map(|b| 12 + b.runs.len() * 12)
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&self.lo.to_le_bytes());
         out.extend_from_slice(&self.hi.to_le_bytes());
         out.extend_from_slice(&self.n_rows.to_le_bytes());
@@ -211,6 +219,7 @@ impl BitmapIndex {
         for b in &self.bins {
             out.extend_from_slice(&b.to_bytes());
         }
+        debug_assert_eq!(out.len(), total);
         out
     }
 
@@ -383,7 +392,7 @@ impl StreamOp for BitmapIndexOp {
         })
     }
 
-    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+    fn reduce(&mut self, tag: u64, items: Vec<bytes::Bytes>, _ctx: &OpCtx) {
         for item in items {
             if let Some(idx) = BitmapIndex::from_bytes(&item) {
                 self.built.push((tag, idx));
@@ -410,14 +419,22 @@ impl StreamOp for BitmapIndexOp {
             ctx.step,
             ctx.my_rank()
         ));
-        let mut blob = Vec::new();
-        blob.extend_from_slice(&(self.built.len() as u32).to_le_bytes());
-        for (chunk_rank, idx) in &self.built {
+        // Encode each index once, then assemble into an exact-sized blob:
+        // [count u32] then per chunk [rank u64][len u32][index bytes].
+        let encoded: Vec<(u64, Vec<u8>)> = self
+            .built
+            .iter()
+            .map(|(chunk_rank, idx)| (*chunk_rank, idx.to_bytes()))
+            .collect();
+        let total = 4 + encoded.iter().map(|(_, b)| 12 + b.len()).sum::<usize>();
+        let mut blob = Vec::with_capacity(total);
+        blob.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        for (chunk_rank, b) in &encoded {
             blob.extend_from_slice(&chunk_rank.to_le_bytes());
-            let b = idx.to_bytes();
             blob.extend_from_slice(&(b.len() as u32).to_le_bytes());
-            blob.extend_from_slice(&b);
+            blob.extend_from_slice(b);
         }
+        debug_assert_eq!(blob.len(), total);
         if std::fs::write(&path, blob).is_ok() {
             result.files.push(path);
         }

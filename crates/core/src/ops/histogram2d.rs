@@ -141,7 +141,7 @@ impl StreamOp for Histogram2dOp {
             .collect()
     }
 
-    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+    fn reduce(&mut self, tag: u64, items: Vec<bytes::Bytes>, _ctx: &OpCtx) {
         let mut sum = vec![0u64; self.bins * self.bins];
         for item in items {
             for (i, w) in item.chunks_exact(8).enumerate() {

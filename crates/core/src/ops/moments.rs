@@ -193,7 +193,7 @@ impl StreamOp for MomentsOp {
             .collect()
     }
 
-    fn reduce(&mut self, tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+    fn reduce(&mut self, tag: u64, items: Vec<bytes::Bytes>, _ctx: &OpCtx) {
         let merged = items
             .iter()
             .filter_map(|b| MomentState::from_bytes(b))
@@ -277,27 +277,32 @@ mod tests {
         assert_eq!(MomentState::merge(MomentState::default(), s), s);
     }
 
+    /// Rank r's chunk rows, as a pure function — so the serial reference
+    /// and each pipeline rank regenerate them instead of cloning a shared
+    /// per-rank table into the closure.
+    fn chunk_rows(r: usize) -> Vec<f64> {
+        (0..40)
+            .flat_map(|i| {
+                let x = ((r * 40 + i) as f64 * 0.11).cos() * 2.0;
+                vec![x, 0., 0., 0., 0., 0., r as f64, i as f64]
+            })
+            .collect()
+    }
+
     #[test]
     fn pipeline_moments_match_reference() {
         // 3 pipeline ranks each map one chunk; verify the reduced mean
         // and variance of column 0 against a serial pass.
-        let all_rows: Vec<Vec<f64>> = (0..3)
-            .map(|r| {
-                (0..40)
-                    .flat_map(|i| {
-                        let x = ((r * 40 + i) as f64 * 0.11).cos() * 2.0;
-                        vec![x, 0., 0., 0., 0., 0., r as f64, i as f64]
-                    })
-                    .collect()
+        let reference: Vec<f64> = (0..3)
+            .flat_map(|r| {
+                chunk_rows(r)
+                    .chunks_exact(PARTICLE_WIDTH)
+                    .map(|row| row[0])
+                    .collect::<Vec<f64>>()
             })
-            .collect();
-        let reference: Vec<f64> = all_rows
-            .iter()
-            .flat_map(|rows| rows.chunks_exact(PARTICLE_WIDTH).map(|r| r[0]))
             .collect();
         let (r_mean, r_var, _) = naive_moments(&reference);
 
-        let rows2 = all_rows.clone();
         let out = World::run(3, move |comm| {
             let mut op = MomentsOp::new(vec![0]);
             let dir = std::env::temp_dir();
@@ -312,7 +317,7 @@ mod tests {
             let chunk = PackedChunk::new(make_particle_pg(
                 comm.rank() as u64,
                 0,
-                rows2[comm.rank()].clone(),
+                chunk_rows(comm.rank()),
             ));
             let mapped = op.map(&chunk, &ctx);
             let res = complete_pipeline(&mut op, mapped, &ctx);

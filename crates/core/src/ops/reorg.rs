@@ -155,7 +155,7 @@ impl StreamOp for ReorgOp {
         (tag as usize).min(n_ranks - 1)
     }
 
-    fn reduce(&mut self, _tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+    fn reduce(&mut self, _tag: u64, items: Vec<bytes::Bytes>, _ctx: &OpCtx) {
         let slab_extents = [self.slab.1 - self.slab.0, self.global[1], self.global[2]];
         for item in items {
             let h: Vec<u64> = (0..7)

@@ -66,8 +66,17 @@ impl ChunkMapper for SortMapper {
             return Vec::new();
         };
         let n_ranks = ctx.n_ranks();
+        // Counting pass over the keys, then one exact reservation per
+        // destination — no doubling growth while rows stream in.
+        let mut row_counts = vec![0usize; n_ranks];
+        for row in rows.chunks_exact(PARTICLE_WIDTH) {
+            row_counts[bucket_of(particle_key(row), self.n_compute_hint, n_ranks)] += 1;
+        }
         // One bucket per destination rank; rows appended as raw f64 LE.
-        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); n_ranks];
+        let mut buckets: Vec<Vec<u8>> = row_counts
+            .iter()
+            .map(|&n| Vec::with_capacity(n * 8 * PARTICLE_WIDTH))
+            .collect();
         for row in rows.chunks_exact(PARTICLE_WIDTH) {
             let b = bucket_of(particle_key(row), self.n_compute_hint, n_ranks);
             for v in row {
@@ -119,7 +128,7 @@ impl StreamOp for SortOp {
         (tag as usize).min(n_ranks - 1)
     }
 
-    fn reduce(&mut self, _tag: u64, items: Vec<Vec<u8>>, _ctx: &OpCtx) {
+    fn reduce(&mut self, _tag: u64, items: Vec<bytes::Bytes>, _ctx: &OpCtx) {
         let total_rows: usize = items.iter().map(|b| b.len() / (8 * PARTICLE_WIDTH)).sum();
         let mut rows: Vec<[f64; PARTICLE_WIDTH]> = Vec::with_capacity(total_rows);
         for blob in items {

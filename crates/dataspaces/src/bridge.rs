@@ -118,7 +118,7 @@ impl StreamOp for SpaceIndexOp {
         Vec::new()
     }
 
-    fn reduce(&mut self, _tag: u64, _items: Vec<Vec<u8>>, _ctx: &OpCtx) {}
+    fn reduce(&mut self, _tag: u64, _items: Vec<bytes::Bytes>, _ctx: &OpCtx) {}
 
     fn finalize(&mut self, ctx: &OpCtx) -> OpResult {
         // Publication point: all pipeline ranks have put their cells

@@ -112,6 +112,31 @@ pub(crate) fn encode_schema(w: &mut Writer, fmt: &FormatDesc) {
     }
 }
 
+/// Bulk-append a primitive-element slice as little-endian payload bytes.
+///
+/// On little-endian targets the in-memory buffer already *is* the wire
+/// encoding, so the whole array goes in with one `extend_from_slice`
+/// (the memcpy the element-wise loop below compiles to only after
+/// perfect vectorization). Other targets take the element-wise path.
+macro_rules! bulk_le {
+    ($w:expr, $a:expr, |$x:ident| $enc:expr) => {{
+        $w.u64($a.len() as u64);
+        #[cfg(target_endian = "little")]
+        {
+            // Safety: the element type is primitive numeric — no padding,
+            // no invalid byte patterns; the view spans exactly the slice.
+            let view = unsafe {
+                std::slice::from_raw_parts($a.as_ptr() as *const u8, std::mem::size_of_val(&$a[..]))
+            };
+            $w.bytes(view);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for &$x in $a.iter() {
+            $enc;
+        }
+    }};
+}
+
 /// Write one value's payload bytes (no type header — the schema carries it).
 pub(crate) fn encode_value_payload(w: &mut Writer, v: &Value) {
     match v {
@@ -136,54 +161,14 @@ pub(crate) fn encode_value_payload(w: &mut Writer, v: &Value) {
             w.u64(a.len() as u64);
             w.bytes(a);
         }
-        Value::ArrI16(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.u16(x as u16);
-            }
-        }
-        Value::ArrU16(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.u16(x);
-            }
-        }
-        Value::ArrI32(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.u32(x as u32);
-            }
-        }
-        Value::ArrU32(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.u32(x);
-            }
-        }
-        Value::ArrI64(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.u64(x as u64);
-            }
-        }
-        Value::ArrU64(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.u64(x);
-            }
-        }
-        Value::ArrF32(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.f32(x);
-            }
-        }
-        Value::ArrF64(a) => {
-            w.u64(a.len() as u64);
-            for &x in a {
-                w.f64(x);
-            }
-        }
+        Value::ArrI16(a) => bulk_le!(w, a, |x| w.u16(x as u16)),
+        Value::ArrU16(a) => bulk_le!(w, a, |x| w.u16(x)),
+        Value::ArrI32(a) => bulk_le!(w, a, |x| w.u32(x as u32)),
+        Value::ArrU32(a) => bulk_le!(w, a, |x| w.u32(x)),
+        Value::ArrI64(a) => bulk_le!(w, a, |x| w.u64(x as u64)),
+        Value::ArrU64(a) => bulk_le!(w, a, |x| w.u64(x)),
+        Value::ArrF32(a) => bulk_le!(w, a, |x| w.f32(x)),
+        Value::ArrF64(a) => bulk_le!(w, a, |x| w.f64(x)),
     }
 }
 

@@ -1,0 +1,176 @@
+//! Small-pull coalescing (`PREDATA_PULL_BATCH`).
+//!
+//! On many-small-chunks dumps (the simhec bursty scenario) the fixed
+//! per-pull cost — request/queue handshake, registry lookup, completion
+//! post — dominates the bytes actually moved. A [`PullBatch`] threshold
+//! lets a staging puller coalesce *consecutive, policy-ordered* small
+//! pulls into one fabric transaction ([`rdma_get_batch`]): the registry
+//! is locked once for the whole group and `transport.pulls_coalesced`
+//! counts the requests saved.
+//!
+//! [`rdma_get_batch`]: crate::StagingEndpoint::rdma_get_batch
+//!
+//! # Environment contract
+//!
+//! `PREDATA_PULL_BATCH` configures the process-wide default, read once:
+//!
+//! * unset / empty / `0` / `off` / `false` — disabled (one `rdma_get`
+//!   per chunk; the pre-batching behaviour, and the default).
+//! * `1` / `on` / `true` — enabled with defaults (`max_bytes=65536`,
+//!   `max_count=16`).
+//! * `max_bytes=N,max_count=M` — coalesce runs of chunks no larger than
+//!   `N` bytes each, at most `M` per batch. Either field may be given
+//!   alone; the other keeps its default.
+//!
+//! Malformed specs abort at startup, like `PREDATA_FAULTS` and
+//! `PREDATA_RETRY`. Batching changes *when* bytes move, never *what*
+//! moves: a batched step's outputs are byte-identical to an unbatched
+//! one's. When a fault schedule (`PREDATA_FAULTS`) is attached, pullers
+//! bypass coalescing so injection bookkeeping stays exactly per-pull.
+//!
+//! # Example
+//!
+//! ```
+//! use transport::PullBatch;
+//!
+//! let b = PullBatch::parse("max_bytes=4096,max_count=8").unwrap().unwrap();
+//! assert_eq!((b.max_bytes(), b.max_count()), (4096, 8));
+//! assert!(PullBatch::parse("off").unwrap().is_none());
+//! ```
+
+use std::sync::OnceLock;
+
+use crate::request::FetchRequest;
+
+/// Coalescing thresholds for batched RDMA pulls. `None` everywhere a
+/// `Option<PullBatch>` is carried means "disabled". See the
+/// [module docs](self) for the `PREDATA_PULL_BATCH` grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PullBatch {
+    max_bytes: usize,
+    max_count: usize,
+}
+
+impl Default for PullBatch {
+    /// Chunks up to 64 KiB, at most 16 per batch.
+    fn default() -> Self {
+        PullBatch {
+            max_bytes: 64 * 1024,
+            max_count: 16,
+        }
+    }
+}
+
+impl PullBatch {
+    /// Build explicit thresholds (the programmatic override tests and
+    /// benches use instead of the environment).
+    pub fn new(max_bytes: usize, max_count: usize) -> Self {
+        PullBatch {
+            max_bytes,
+            max_count: max_count.max(1),
+        }
+    }
+
+    /// Largest chunk (in bytes) eligible for coalescing.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Most pulls folded into one batch.
+    pub fn max_count(&self) -> usize {
+        self.max_count
+    }
+
+    /// Whether `req`'s chunk is small enough to coalesce.
+    pub fn covers(&self, req: &FetchRequest) -> bool {
+        req.chunk_bytes <= self.max_bytes
+    }
+
+    /// Parse a `PREDATA_PULL_BATCH` spec. `Ok(None)` means disabled.
+    pub fn parse(spec: &str) -> Result<Option<PullBatch>, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || matches!(spec, "0" | "off" | "false") {
+            return Ok(None);
+        }
+        if matches!(spec, "1" | "on" | "true") {
+            return Ok(Some(PullBatch::default()));
+        }
+        let mut batch = PullBatch::default();
+        for field in spec.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("pull-batch field `{field}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("pull-batch field `{field}`: {e}");
+            match key {
+                "max_bytes" => batch.max_bytes = value.parse().map_err(|e| bad(&e))?,
+                "max_count" => batch.max_count = value.parse().map_err(|e| bad(&e))?,
+                _ => return Err(format!("unknown pull-batch field `{key}`")),
+            }
+        }
+        if batch.max_count == 0 {
+            return Err("pull-batch max_count must be >= 1".into());
+        }
+        Ok(Some(batch))
+    }
+
+    /// The process-wide setting from `PREDATA_PULL_BATCH`, read once.
+    /// Malformed specs abort loudly.
+    pub fn from_env() -> Option<PullBatch> {
+        static BATCH: OnceLock<Option<PullBatch>> = OnceLock::new();
+        BATCH
+            .get_or_init(|| match std::env::var("PREDATA_PULL_BATCH") {
+                Ok(spec) => {
+                    PullBatch::parse(&spec).unwrap_or_else(|e| panic!("PREDATA_PULL_BATCH: {e}"))
+                }
+                Err(_) => None,
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffs::AttrList;
+
+    fn req(bytes: usize) -> FetchRequest {
+        FetchRequest {
+            src_rank: 0,
+            io_step: 0,
+            handle: crate::MemHandle::test_only(1),
+            chunk_bytes: bytes,
+            format: 0,
+            attrs: AttrList::new(),
+        }
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert!(PullBatch::parse("").unwrap().is_none());
+        assert!(PullBatch::parse("off").unwrap().is_none());
+        assert!(PullBatch::parse("0").unwrap().is_none());
+        assert_eq!(PullBatch::parse("on").unwrap(), Some(PullBatch::default()));
+        let b = PullBatch::parse("max_bytes=1024").unwrap().unwrap();
+        assert_eq!(b.max_bytes(), 1024);
+        assert_eq!(b.max_count(), PullBatch::default().max_count());
+        let b = PullBatch::parse(" max_bytes=10, max_count=3 ")
+            .unwrap()
+            .unwrap();
+        assert_eq!((b.max_bytes(), b.max_count()), (10, 3));
+        assert!(PullBatch::parse("max_bytes=x").is_err());
+        assert!(PullBatch::parse("frob=1").is_err());
+        assert!(PullBatch::parse("max_count=0").is_err());
+    }
+
+    #[test]
+    fn covers_is_a_size_threshold() {
+        let b = PullBatch::new(100, 4);
+        assert!(b.covers(&req(100)));
+        assert!(!b.covers(&req(101)));
+    }
+
+    #[test]
+    fn max_count_floor_is_one() {
+        assert_eq!(PullBatch::new(10, 0).max_count(), 1);
+    }
+}
