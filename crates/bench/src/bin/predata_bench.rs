@@ -6,7 +6,9 @@
 //!
 //! Runs the `staging_pipeline` scenarios inline (a large-chunk step, and
 //! the many-small-chunks step with and without `PREDATA_PULL_BATCH`
-//! coalescing) plus the deterministic simhec figure models, and emits a
+//! coalescing), the `query_service` scenario (1/8/64 concurrent readers
+//! hammering a committed dump version while a writer keeps staging fresh
+//! ones), plus the deterministic simhec figure models, and emits a
 //! schema-stable `BENCH_<pr>.json` — the checked-in perf trajectory that
 //! later PRs compare themselves against.
 //!
@@ -41,7 +43,7 @@ use simhec::{MachineConfig, StagedRun};
 use transport::{BlockRouter, Fabric, FifoPolicy, PullBatch, PullPolicy, Router};
 
 const SCHEMA: &str = "predata-bench-trajectory/v1";
-const PR: u64 = 6;
+const PR: u64 = 7;
 
 /// One recorded number: value, kind (`wall`/`exact`/`model`), unit.
 struct Bench {
@@ -142,6 +144,98 @@ fn counter(name: &str) -> u64 {
         .unwrap_or_default()
 }
 
+/// Stage one full version of `var` into the space, in 8 row stripes
+/// (like independent pipeline ranks), then commit it.
+fn stage_version(space: &dataspaces::DataSpaces, var: &str, version: u64, dom: &[u64; 2]) {
+    use bpio::DataArray;
+    use dataspaces::Region;
+    let stripes = 8;
+    let rows = dom[0] / stripes;
+    for s in 0..stripes {
+        let region = Region::new(vec![s * rows, 0], vec![rows, dom[1]]);
+        let n = (rows * dom[1]) as usize;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 + version as f64).collect();
+        space
+            .put(var, version, &region, DataArray::F64(data))
+            .unwrap();
+    }
+    space.commit(var, version);
+}
+
+/// The `query_service` scenario: `readers` threads hammer the committed
+/// version 0 through the [`dataspaces::QueryService`] front-end while a
+/// writer thread keeps staging (and evicting) fresh dump versions into
+/// the same sharded index. Returns queries served per second.
+fn query_service_scenario(quick: bool, readers: usize) -> f64 {
+    use dataspaces::{
+        DataSpaces, DsConfig, QueryKind, QueryService, QueryServiceConfig, Reduction, Region,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let dom: [u64; 2] = if quick { [128, 64] } else { [512, 256] };
+    let block = if quick { vec![32, 16] } else { vec![64, 32] };
+    let space = Arc::new(DataSpaces::new(DsConfig::new(dom.to_vec(), block, 8)));
+    stage_version(&space, "f", 0, &dom);
+    let svc = Arc::new(QueryService::new(
+        Arc::clone(&space),
+        QueryServiceConfig::default(),
+    ));
+    let queries_per_reader = if quick { 12 } else { 48 };
+    let mix = [
+        QueryKind::Range(Region::whole(&dom)),
+        QueryKind::Range(Region::new(
+            vec![dom[0] / 4, dom[1] / 4],
+            vec![dom[0] / 2, dom[1] / 2],
+        )),
+        QueryKind::Reduce(Region::whole(&dom), Reduction::Sum),
+        QueryKind::Reduce(
+            Region::new(vec![0, 0], vec![dom[0], dom[1] / 2]),
+            Reduction::Max,
+        ),
+    ];
+
+    let done = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let wall = std::thread::scope(|s| {
+        // The concurrent staging load: fresh versions of another
+        // variable commit (and age out) through the same shards the
+        // readers scan — epoch churn for the whole measurement.
+        let writer_space = Arc::clone(&space);
+        let writer_done = Arc::clone(&done);
+        s.spawn(move || {
+            let mut v = 0u64;
+            while !writer_done.load(Ordering::Acquire) {
+                v += 1;
+                stage_version(&writer_space, "staging", v, &dom);
+                if v > 2 {
+                    writer_space.evict_before("staging", v - 1);
+                }
+            }
+        });
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let svc = Arc::clone(&svc);
+                let mix = &mix;
+                s.spawn(move || {
+                    for q in 0..queries_per_reader {
+                        let kind = mix[(q + r) % mix.len()].clone();
+                        svc.query("f", 0, kind).expect("query serves");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        // Readers finishing is the measured interval; only then is the
+        // background writer released.
+        let wall = started.elapsed().as_secs_f64();
+        done.store(true, Ordering::Release);
+        wall
+    });
+    (readers * queries_per_reader) as f64 / wall.max(1e-9)
+}
+
 fn run_trajectory(quick: bool) -> BTreeMap<String, Bench> {
     let mut out: BTreeMap<String, Bench> = BTreeMap::new();
     let mut put = |k: &str, value: f64, kind: &'static str, unit: &'static str| {
@@ -229,6 +323,13 @@ fn run_trajectory(quick: bool) -> BTreeMap<String, Bench> {
         "x",
     );
     std::fs::remove_dir_all(&dir).ok();
+
+    // --- wall: the query_service scenario ---
+    for readers in [1usize, 8, 64] {
+        eprintln!("trajectory: query_service ({readers} readers, writer staging)...");
+        let qps = query_service_scenario(quick, readers);
+        put(&format!("query_service_qps_{readers}"), qps, "wall", "q/s");
+    }
 
     // --- model: the deterministic simhec figure numbers ---
     eprintln!("trajectory: simhec figure models...");

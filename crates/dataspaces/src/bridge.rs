@@ -20,7 +20,7 @@ use predata_core::op::{ChunkMapper, ComputeSideOp, MapCtx, OpCtx, OpResult, Stre
 use predata_core::schema::{particles_of, COL_ID, COL_RANK, PARTICLE_WIDTH};
 
 use crate::domain::Region;
-use crate::space::DataSpaces;
+use crate::space::{DataSpaces, VarRef};
 
 /// Streams one particle attribute into a shared [`DataSpaces`] over the
 /// (local id, rank) label domain; commits the version at `finalize`.
@@ -70,7 +70,9 @@ impl StreamOp for SpaceIndexOp {
         struct SpaceIndexMapper {
             space: Arc<DataSpaces>,
             column: usize,
-            var: String,
+            /// Resolved once per mapper: per-particle puts skip the
+            /// directory lock entirely (the hot-path win of `VarRef`).
+            var: VarRef,
         }
         impl ChunkMapper for SpaceIndexMapper {
             fn map_chunk(&self, chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
@@ -89,7 +91,7 @@ impl StreamOp for SpaceIndexOp {
                     // Put errors here mean a mis-sized domain; surface
                     // loudly in debug, skip in release (the space records
                     // the incomplete coverage and queries report holes).
-                    let r = self.space.put(
+                    let r = self.space.put_ref(
                         &self.var,
                         chunk.step,
                         &region,
@@ -107,7 +109,10 @@ impl StreamOp for SpaceIndexOp {
         Arc::new(SpaceIndexMapper {
             space: Arc::clone(&self.space),
             column: self.column,
-            var: self.var.clone(),
+            var: self
+                .space
+                .resolve_var(&self.var, bpio::Dtype::F64)
+                .expect("space_index variable is F64"),
         })
     }
 
@@ -199,6 +204,69 @@ mod tests {
             .reduce("weight", 0, &whole, Reduction::Max, Duration::from_secs(1))
             .unwrap();
         assert!((max - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staged_dump_is_served_by_the_query_service() {
+        use crate::service::{QueryKind, QueryService, QueryServiceConfig};
+
+        let space = Arc::new(DataSpaces::new(DsConfig::new(vec![8, 2], vec![4, 1], 2)));
+        let svc = QueryService::new(
+            Arc::clone(&space),
+            QueryServiceConfig {
+                workers: 2,
+                ..QueryServiceConfig::default()
+            },
+        );
+        // A standing continuous query, registered before the dump lands:
+        // the operator's commit must trigger its evaluation.
+        let watch = svc.subscribe_reduce("weight", Region::whole(&[8, 2]), Reduction::Max, 4);
+
+        let space2 = Arc::clone(&space);
+        World::run(2, move |comm| {
+            let mut op = SpaceIndexOp::new(Arc::clone(&space2), 5, "weight");
+            let dir = std::env::temp_dir();
+            let ctx = OpCtx {
+                comm: &comm,
+                out_dir: &dir,
+                step: 0,
+                n_compute: 2,
+                agg: None,
+            };
+            op.initialize(&Aggregates::local_only(&[]), &ctx);
+            let me = comm.rank() as u64;
+            let rows: Vec<f64> = (0..8)
+                .flat_map(|id| {
+                    vec![
+                        0.,
+                        0.,
+                        0.,
+                        0.,
+                        0.,
+                        id as f64 * 0.1 + me as f64,
+                        me as f64,
+                        id as f64,
+                    ]
+                })
+                .collect();
+            let mapped = op.map(&PackedChunk::new(make_particle_pg(me, 0, rows)), &ctx);
+            complete_pipeline(&mut op, mapped, &ctx);
+        });
+
+        // Range query through the front-end matches the direct get.
+        let q = Region::new(vec![2, 0], vec![4, 2]);
+        let via_service = svc
+            .query("weight", 0, QueryKind::Range(q.clone()))
+            .unwrap()
+            .output
+            .into_data();
+        let direct = space.get("weight", 0, &q, Duration::from_secs(1)).unwrap();
+        assert_eq!(via_service, direct);
+
+        // The commit fired the continuous query with the dump's max.
+        let update = watch.recv(Duration::from_secs(5)).expect("commit update");
+        assert_eq!(update.version, 0);
+        assert!((update.value - 1.7).abs() < 1e-12);
     }
 
     #[test]

@@ -167,6 +167,53 @@ impl DsConfig {
         }
     }
 
+    /// Linear index of grid coordinate `g`, row-major over [`grid`]
+    /// (the allocation-free block key used by the sharded index).
+    ///
+    /// [`grid`]: DsConfig::grid
+    pub fn grid_index(&self, g: &[u64]) -> u64 {
+        let mut idx = 0;
+        for (d, gd) in g.iter().enumerate().take(self.rank()) {
+            idx = idx * self.domain[d].div_ceil(self.block[d]) + gd;
+        }
+        idx
+    }
+
+    /// Deterministically split `region` into at most `max_bands`
+    /// contiguous row bands along dimension 0, cut only at block
+    /// boundaries. The bands are disjoint, cover `region` exactly, and
+    /// each band's elements form one contiguous run of the row-major
+    /// order of `region` — so banded results concatenate positionally.
+    ///
+    /// The decomposition is a pure function of `(region, block,
+    /// max_bands)` — never of worker count or timing — which is what
+    /// makes fanned-out query execution bit-reproducible at any
+    /// parallelism (partials are merged in band order).
+    pub fn row_bands(&self, region: &Region, max_bands: usize) -> Vec<Region> {
+        if region.is_empty() {
+            return Vec::new();
+        }
+        let b0 = self.block[0];
+        let lo_block = region.corner[0] / b0;
+        let hi_block = (region.corner[0] + region.extent[0] - 1) / b0;
+        let n_blocks = hi_block - lo_block + 1;
+        let n = (max_bands.max(1) as u64).min(n_blocks);
+        let row_end = region.corner[0] + region.extent[0];
+        let mut bands = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let first = lo_block + i * n_blocks / n;
+            let last = lo_block + (i + 1) * n_blocks / n; // exclusive
+            let row_lo = (first * b0).max(region.corner[0]);
+            let row_hi = (last * b0).min(row_end);
+            let mut corner = region.corner.clone();
+            let mut extent = region.extent.clone();
+            corner[0] = row_lo;
+            extent[0] = row_hi - row_lo;
+            bands.push(Region { corner, extent });
+        }
+        bands
+    }
+
     /// The shard owning a block: FNV hash of its grid coordinate — the
     /// first level of load balancing (even data spread, no master).
     pub fn shard_of(&self, g: &[u64]) -> usize {
@@ -268,6 +315,47 @@ mod tests {
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
         assert!(max < min * 2, "load balance within 2x: {counts:?}");
+    }
+
+    #[test]
+    fn grid_index_is_row_major_and_dense() {
+        let c = cfg(); // grid 4 × 3
+        let mut seen = Vec::new();
+        for g in c.blocks_of(&Region::whole(&c.domain)) {
+            seen.push(c.grid_index(&g));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<u64>>());
+        assert_eq!(c.grid_index(&[3, 2]), 3 * 3 + 2);
+    }
+
+    #[test]
+    fn row_bands_partition_on_block_boundaries() {
+        let c = DsConfig::new(vec![100, 40], vec![16, 16], 4);
+        let r = Region::new(vec![10, 4], vec![70, 20]); // rows 10..80
+        for max_bands in [1, 2, 3, 5, 64] {
+            let bands = c.row_bands(&r, max_bands);
+            assert!(bands.len() <= max_bands.max(1));
+            // Disjoint, ordered, covering: bands chain exactly.
+            let mut row = r.corner[0];
+            for b in &bands {
+                assert_eq!(b.corner[0], row);
+                assert_eq!(b.corner[1], 4);
+                assert_eq!(b.extent[1], 20);
+                assert!(b.extent[0] > 0);
+                row += b.extent[0];
+            }
+            assert_eq!(row, 80);
+            // Interior cuts sit on block boundaries.
+            for b in &bands[1..] {
+                assert_eq!(b.corner[0] % 16, 0);
+            }
+        }
+        // More bands than blocks intersected: one band per block row.
+        assert_eq!(c.row_bands(&r, 64).len(), 5); // rows 10..80 touch blocks 0..=4
+        assert!(c
+            .row_bands(&Region::new(vec![0, 0], vec![0, 5]), 4)
+            .is_empty());
     }
 
     #[test]

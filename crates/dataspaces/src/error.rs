@@ -17,6 +17,17 @@ pub enum DsError {
     LengthMismatch { expected: u64, got: u64 },
     /// Mixed element types for one variable.
     DtypeMismatch,
+    /// A session was requested for a version that is not committed
+    /// (never committed, or already evicted).
+    NotCommitted { var: String, version: u64 },
+    /// A query missed its per-query deadline before execution finished.
+    DeadlineMissed { query: u64 },
+    /// The query service's admission queue was full (back-pressure).
+    QueueFull,
+    /// The query service is shut down.
+    ServiceClosed,
+    /// An injected transport fault exhausted the service's retry budget.
+    Faulted { query: u64 },
 }
 
 impl fmt::Display for DsError {
@@ -39,6 +50,17 @@ impl fmt::Display for DsError {
                 write!(f, "put data has {got} elements, region holds {expected}")
             }
             DsError::DtypeMismatch => write!(f, "variable written with conflicting dtypes"),
+            DsError::NotCommitted { var, version } => {
+                write!(f, "`{var}` version {version} is not committed")
+            }
+            DsError::DeadlineMissed { query } => {
+                write!(f, "query {query} missed its deadline")
+            }
+            DsError::QueueFull => write!(f, "query admission queue is full"),
+            DsError::ServiceClosed => write!(f, "query service is shut down"),
+            DsError::Faulted { query } => {
+                write!(f, "query {query} failed: injected fault exhausted retries")
+            }
         }
     }
 }

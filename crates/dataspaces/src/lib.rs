@@ -28,6 +28,16 @@
 //! * **two-level load balancing** — block hashing spreads *data* evenly;
 //!   the per-variable directory is sharded by name hash so *index*
 //!   traffic also spreads.
+//! * **lock-free committed reads** — [`DataSpaces::commit`] freezes a
+//!   version's blocks and publishes them as an immutable epoch snapshot;
+//!   readers bind a [`Session`] to that snapshot and scan without taking
+//!   any lock a writer uses, so queries never block puts (and
+//!   `evict_before` never corrupts an in-flight scan: snapshot
+//!   isolation by reference counting).
+//! * **a concurrent query front-end** — [`QueryService`] admits
+//!   range/reduction/continuous queries into a bounded queue served by a
+//!   worker pool; large queries fan out across deterministic row bands,
+//!   and every query carries a deadline. See [`service`](QueryService).
 
 //! # Example
 //!
@@ -51,9 +61,17 @@
 pub mod bridge;
 mod domain;
 mod error;
+mod index;
+mod service;
+mod session;
 mod space;
 
 pub use bridge::SpaceIndexOp;
 pub use domain::{DsConfig, Region};
 pub use error::DsError;
-pub use space::{DataSpaces, Notification, Reduction, SpaceStats};
+pub use service::{
+    ContinuousHandle, ContinuousUpdate, QueryKind, QueryOutput, QueryResponse, QueryService,
+    QueryServiceConfig, QueryTicket,
+};
+pub use session::Session;
+pub use space::{CommitHook, DataSpaces, Notification, Reduction, SpaceStats, VarRef};

@@ -1,0 +1,833 @@
+//! The query service: a concurrent front-end over [`DataSpaces`].
+//!
+//! The paper's querying application runs on its own cores and fires
+//! range/reduction/continuous queries at the staged index while the next
+//! dump is still being staged. This module is that front-end: queries
+//! are admitted as jobs into a bounded [`EventQueue`] (back-pressure,
+//! `PREDATA_QUERY_QUEUE`), served by a fixed worker pool
+//! (`PREDATA_QUERY_WORKERS`), and each carries a per-query deadline.
+//!
+//! # Sessions and fan-out
+//!
+//! A query binds to its dump version *at admission to execution*: the
+//! worker opens a [`Session`] (a committed snapshot pinned by `Arc`s),
+//! so concurrent commits and `evict_before` calls never corrupt an
+//! in-flight scan. Large queries are decomposed into row *bands*
+//! ([`DsConfig::row_bands`], `PREDATA_QUERY_BANDS`) that fan out across
+//! the pool; the decomposition and the band-order merge are pure
+//! functions of the query — never of the worker count — so results are
+//! byte-identical at any parallelism. The serving worker executes band
+//! 0 itself and helps drain the band queue while waiting, so the
+//! service cannot deadlock even with a single worker.
+//!
+//! # Continuous queries
+//!
+//! [`QueryService::subscribe_reduce`] registers a commit-level
+//! continuous query: every commit of the variable re-evaluates the
+//! reduction over the subscribed region on that commit's snapshot and
+//! delivers a [`ContinuousUpdate`] through a *bounded* per-subscriber
+//! channel — a slow subscriber loses updates (counted in
+//! `dataspaces.continuous_dropped`), it never stalls the pool.
+//!
+//! # Resilience
+//!
+//! The service is a boundary of the staged read path, so it honours the
+//! ambient fault plan: with `PREDATA_FAULTS` set, each execution
+//! attempt consults [`FaultPlan::inject_query`] under the ambient
+//! [`RetryPolicy`] — transient faults are absorbed by retries (counted
+//! in `transport.retries{op=query}`), exhaustion surfaces as
+//! [`DsError::Faulted`] (counted in `transport.retry_exhausted`).
+//!
+//! [`DsConfig::row_bands`]: crate::DsConfig::row_bands
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bpio::{copy_box_between, DataArray};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
+use transport::evq::{EventQueue, PollError, SubmitError};
+use transport::{FaultPlan, RetryPolicy};
+
+use crate::domain::Region;
+use crate::error::DsError;
+use crate::session::{finish_reduction, merge_reduction, reduce_identity, Session};
+use crate::space::{DataSpaces, Reduction};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Query-service tuning. Defaults are overridable per process via the
+/// `PREDATA_QUERY_*` environment knobs (see `docs/OPERATIONS.md`).
+#[derive(Debug, Clone)]
+pub struct QueryServiceConfig {
+    /// Worker threads serving queries (`PREDATA_QUERY_WORKERS`).
+    pub workers: usize,
+    /// Admission-queue capacity; a full queue rejects with
+    /// [`DsError::QueueFull`] (`PREDATA_QUERY_QUEUE`).
+    pub queue_cap: usize,
+    /// Maximum bands a query fans out into (`PREDATA_QUERY_BANDS`).
+    pub bands: usize,
+    /// Deadline for queries submitted without an explicit one
+    /// (`PREDATA_QUERY_DEADLINE_MS`).
+    pub default_deadline: Duration,
+}
+
+impl Default for QueryServiceConfig {
+    fn default() -> Self {
+        QueryServiceConfig {
+            workers: 4,
+            queue_cap: 256,
+            bands: 4,
+            default_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl QueryServiceConfig {
+    /// Defaults overridden by the `PREDATA_QUERY_*` environment.
+    pub fn from_env() -> Self {
+        let d = QueryServiceConfig::default();
+        QueryServiceConfig {
+            workers: env_usize("PREDATA_QUERY_WORKERS", d.workers),
+            queue_cap: env_usize("PREDATA_QUERY_QUEUE", d.queue_cap),
+            bands: env_usize("PREDATA_QUERY_BANDS", d.bands),
+            default_deadline: Duration::from_millis(env_usize(
+                "PREDATA_QUERY_DEADLINE_MS",
+                d.default_deadline.as_millis() as usize,
+            ) as u64),
+        }
+    }
+}
+
+/// What a query computes over its region.
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// Retrieve the region's data (paper: geometric range query).
+    Range(Region),
+    /// Aggregate the region (paper: min/max/sum/count/average).
+    Reduce(Region, Reduction),
+}
+
+/// A completed query's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    Data(DataArray),
+    Value(f64),
+}
+
+impl QueryOutput {
+    /// The data of a range query (panics on a reduction result).
+    pub fn into_data(self) -> DataArray {
+        match self {
+            QueryOutput::Data(d) => d,
+            QueryOutput::Value(v) => panic!("reduction result {v} is not data"),
+        }
+    }
+
+    /// The value of a reduction query (panics on a range result).
+    pub fn value(&self) -> f64 {
+        match self {
+            QueryOutput::Value(v) => *v,
+            QueryOutput::Data(_) => panic!("range result is not a value"),
+        }
+    }
+}
+
+/// A served query: its payload plus how long it queued and executed.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    pub id: u64,
+    pub var: String,
+    pub version: u64,
+    pub output: QueryOutput,
+    /// Admission-to-execution queue wait.
+    pub waited: Duration,
+    /// Execution time (session + scan + merge).
+    pub exec: Duration,
+}
+
+/// Claim check for an admitted query.
+pub struct QueryTicket {
+    id: u64,
+    rx: Receiver<Result<QueryResponse, DsError>>,
+}
+
+impl QueryTicket {
+    /// The query's service-assigned id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the query completes, up to `timeout`.
+    pub fn wait(self, timeout: Duration) -> Result<QueryResponse, DsError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => Err(DsError::DeadlineMissed { query: self.id }),
+            Err(RecvTimeoutError::Disconnected) => Err(DsError::ServiceClosed),
+        }
+    }
+}
+
+/// One delivery of a continuous query: the reduction re-evaluated on a
+/// freshly committed version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousUpdate {
+    pub var: String,
+    pub version: u64,
+    pub value: f64,
+}
+
+/// A continuous query's subscriber end. Dropping it unsubscribes (the
+/// service prunes the subscription on its next delivery attempt).
+pub struct ContinuousHandle {
+    rx: Receiver<ContinuousUpdate>,
+}
+
+impl ContinuousHandle {
+    /// Next update, up to `timeout`. `None` on timeout or service
+    /// shutdown.
+    pub fn recv(&self, timeout: Duration) -> Option<ContinuousUpdate> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Next update if one is already buffered.
+    pub fn try_recv(&self) -> Option<ContinuousUpdate> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct QueryJob {
+    id: u64,
+    var: String,
+    version: u64,
+    kind: QueryKind,
+    admitted: Instant,
+    deadline: Instant,
+    reply: Sender<Result<QueryResponse, DsError>>,
+}
+
+enum Job {
+    Query(QueryJob),
+    /// Re-evaluate continuous subscriptions of `var` against a fresh
+    /// commit.
+    Continuous {
+        var: String,
+        version: u64,
+    },
+}
+
+struct ContinuousSub {
+    var: String,
+    region: Region,
+    how: Reduction,
+    tx: Sender<ContinuousUpdate>,
+}
+
+/// A band's partial result.
+enum BandOut {
+    /// Range-scan data plus its covered-element count.
+    Data(DataArray, u64),
+    /// Reduction accumulator plus its element count.
+    Part(f64, u64),
+}
+
+/// Shared state of one fanned-out query.
+struct Fan {
+    session: Session,
+    how: Option<Reduction>,
+    bands: Vec<Region>,
+    results: Mutex<Vec<Option<Result<BandOut, DsError>>>>,
+    remaining: AtomicUsize,
+}
+
+impl Fan {
+    fn run_band(&self, idx: usize) {
+        let band = &self.bands[idx];
+        let out = match self.how {
+            None => self
+                .session
+                .get_band(band)
+                .map(|(d, c)| BandOut::Data(d, c)),
+            Some(how) => {
+                let (acc, count) = self.session.reduce_band(band, how);
+                Ok(BandOut::Part(acc, count))
+            }
+        };
+        self.results.lock()[idx] = Some(out);
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct Subtask {
+    fan: Arc<Fan>,
+    band: usize,
+}
+
+struct Inner {
+    space: Arc<DataSpaces>,
+    cfg: QueryServiceConfig,
+    jobs: EventQueue<Job>,
+    subtasks: EventQueue<Subtask>,
+    next_id: AtomicU64,
+    subs: Mutex<Vec<ContinuousSub>>,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
+    admitted_range: obs::Counter,
+    admitted_reduce: obs::Counter,
+    admitted_continuous: obs::Counter,
+    served: obs::Counter,
+    deadline_missed: obs::Counter,
+    depth: obs::Gauge,
+    wait_us: obs::Histogram,
+    exec_us: obs::Histogram,
+    delivered: obs::Counter,
+    dropped: obs::Counter,
+}
+
+/// The concurrent query front-end: a bounded admission queue served by
+/// a worker pool, with deterministic band fan-out per query.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Spawn the worker pool and hook commit notifications for
+    /// continuous queries. The service holds the space alive; dropping
+    /// the service shuts the pool down (in-flight queries finish).
+    pub fn new(space: Arc<DataSpaces>, cfg: QueryServiceConfig) -> QueryService {
+        let reg = obs::global();
+        let inner = Arc::new(Inner {
+            jobs: EventQueue::bounded(cfg.queue_cap),
+            subtasks: EventQueue::unbounded(),
+            next_id: AtomicU64::new(0),
+            subs: Mutex::new(Vec::new()),
+            faults: FaultPlan::from_env(),
+            retry: RetryPolicy::from_env(),
+            admitted_range: reg.counter("dataspaces.queries_admitted", &[("kind", "range")]),
+            admitted_reduce: reg.counter("dataspaces.queries_admitted", &[("kind", "reduce")]),
+            admitted_continuous: reg
+                .counter("dataspaces.queries_admitted", &[("kind", "continuous")]),
+            served: reg.counter("dataspaces.queries_served", &[]),
+            deadline_missed: reg.counter("dataspaces.query_deadline_missed", &[]),
+            depth: reg.gauge("dataspaces.query_queue_depth", &[]),
+            wait_us: reg.histogram("dataspaces.query_wait_us", &[]),
+            exec_us: reg.histogram("dataspaces.query_exec_us", &[]),
+            delivered: reg.counter("dataspaces.continuous_delivered", &[]),
+            dropped: reg.counter("dataspaces.continuous_dropped", &[]),
+            space: Arc::clone(&space),
+            cfg,
+        });
+
+        // Continuous queries ride the space's commit hook. Weak: once
+        // the service drops, commits stop enqueueing (the hook itself
+        // cannot be unregistered).
+        let weak: Weak<Inner> = Arc::downgrade(&inner);
+        space.on_commit(Box::new(move |var, version| {
+            if let Some(inner) = weak.upgrade() {
+                if inner.subs.lock().iter().any(|s| s.var == var) {
+                    // Never park the committing thread: a full queue
+                    // costs this commit its continuous evaluation (the
+                    // next commit re-evaluates anyway).
+                    let _ = inner.jobs.try_submit(Job::Continuous {
+                        var: var.to_string(),
+                        version,
+                    });
+                }
+            }
+        }));
+
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ds-query-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryService {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The space this service fronts.
+    pub fn space(&self) -> &Arc<DataSpaces> {
+        &self.inner.space
+    }
+
+    /// Admit a query with the configured default deadline.
+    pub fn submit(&self, var: &str, version: u64, kind: QueryKind) -> Result<QueryTicket, DsError> {
+        self.submit_with_deadline(var, version, kind, self.inner.cfg.default_deadline)
+    }
+
+    /// Admit a query that must finish within `deadline` of admission;
+    /// overdue execution fails with [`DsError::DeadlineMissed`]. A full
+    /// admission queue rejects immediately with [`DsError::QueueFull`]
+    /// (the caller's back-pressure signal).
+    pub fn submit_with_deadline(
+        &self,
+        var: &str,
+        version: u64,
+        kind: QueryKind,
+        deadline: Duration,
+    ) -> Result<QueryTicket, DsError> {
+        let inner = &self.inner;
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            QueryKind::Range(_) => inner.admitted_range.inc(),
+            QueryKind::Reduce(..) => inner.admitted_reduce.inc(),
+        }
+        let now = Instant::now();
+        let (tx, rx) = bounded(1);
+        let job = Job::Query(QueryJob {
+            id,
+            var: var.to_string(),
+            version,
+            kind,
+            admitted: now,
+            deadline: now + deadline,
+            reply: tx,
+        });
+        match inner.jobs.try_submit(job) {
+            Ok(()) => {
+                inner.depth.record_max(inner.jobs.len() as i64);
+                Ok(QueryTicket { id, rx })
+            }
+            Err(SubmitError::Full(_)) => Err(DsError::QueueFull),
+            Err(SubmitError::Closed(_)) => Err(DsError::ServiceClosed),
+        }
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper.
+    pub fn query(
+        &self,
+        var: &str,
+        version: u64,
+        kind: QueryKind,
+    ) -> Result<QueryResponse, DsError> {
+        let patience = self.inner.cfg.default_deadline + Duration::from_secs(5);
+        self.submit(var, version, kind)?.wait(patience)
+    }
+
+    /// Register a continuous reduction query: every commit of `var`
+    /// re-evaluates `how` over `region` on that commit's snapshot and
+    /// delivers the value through a channel of `capacity` updates.
+    /// Overflow drops the update (counted), never blocks the pool.
+    pub fn subscribe_reduce(
+        &self,
+        var: &str,
+        region: Region,
+        how: Reduction,
+        capacity: usize,
+    ) -> ContinuousHandle {
+        let (tx, rx) = bounded(capacity.max(1));
+        self.inner.subs.lock().push(ContinuousSub {
+            var: var.to_string(),
+            region,
+            how,
+            tx,
+        });
+        self.inner.admitted_continuous.inc();
+        ContinuousHandle { rx }
+    }
+
+    /// Drain and stop: close admission, let workers finish queued
+    /// queries, join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.jobs.close();
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.subtasks.close();
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        // Bands of in-flight queries take priority over admitting new
+        // work — finish what is started before starting more.
+        while let Some(t) = inner.subtasks.try_poll() {
+            t.fan.run_band(t.band);
+        }
+        match inner.jobs.recv(Duration::from_millis(5)) {
+            Ok(Job::Query(job)) => serve(inner, job),
+            Ok(Job::Continuous { var, version }) => serve_continuous(inner, &var, version),
+            Err(PollError::Timeout) => continue,
+            Err(PollError::Closed) => break,
+        }
+    }
+    // Shutdown: other workers may still be parenting fans; help them
+    // finish their outstanding bands.
+    while let Some(t) = inner.subtasks.try_poll() {
+        t.fan.run_band(t.band);
+    }
+}
+
+fn serve(inner: &Arc<Inner>, job: QueryJob) {
+    inner.depth.set(inner.jobs.len() as i64);
+    let waited = job.admitted.elapsed();
+    inner.wait_us.record(waited.as_micros() as u64);
+    let started = Instant::now();
+    let result = execute(inner, &job);
+    let exec = started.elapsed();
+    inner.exec_us.record(exec.as_micros() as u64);
+    match &result {
+        Ok(_) => {
+            inner.served.inc();
+            obs::global().record_span("ds.query", job.version, exec.as_nanos() as u64);
+        }
+        Err(DsError::DeadlineMissed { .. }) => inner.deadline_missed.inc(),
+        Err(_) => {}
+    }
+    let _ = job.reply.send(result.map(|output| QueryResponse {
+        id: job.id,
+        var: job.var,
+        version: job.version,
+        output,
+        waited,
+        exec,
+    }));
+}
+
+fn execute(inner: &Arc<Inner>, job: &QueryJob) -> Result<QueryOutput, DsError> {
+    if Instant::now() >= job.deadline {
+        return Err(DsError::DeadlineMissed { query: job.id });
+    }
+    // Resilience boundary: consult the ambient fault plan under the
+    // ambient retry policy before touching the space.
+    if let Some(plan) = &inner.faults {
+        inner
+            .retry
+            .run("query", job.id, |_| {
+                match plan.inject_query(job.id, job.version) {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            })
+            .map_err(|_| DsError::Faulted { query: job.id })?;
+    }
+    let now = Instant::now();
+    if now >= job.deadline {
+        return Err(DsError::DeadlineMissed { query: job.id });
+    }
+    let session = inner
+        .space
+        .session(&job.var, job.version, job.deadline - now)?;
+    let (region, how) = match &job.kind {
+        QueryKind::Range(r) => (r, None),
+        QueryKind::Reduce(r, h) => (r, Some(*h)),
+    };
+    inner.space.config().check(region)?;
+    let bands = inner.space.config().row_bands(region, inner.cfg.bands);
+    if bands.len() <= 1 {
+        // Small query: serve inline, no fan-out overhead.
+        return match how {
+            None => session.get(region).map(QueryOutput::Data),
+            Some(h) => session.reduce(region, h).map(QueryOutput::Value),
+        };
+    }
+
+    let n = bands.len();
+    let fan = Arc::new(Fan {
+        session,
+        how,
+        bands,
+        results: Mutex::new((0..n).map(|_| None).collect()),
+        remaining: AtomicUsize::new(n),
+    });
+    for band in 1..n {
+        inner.subtasks.submit(Subtask {
+            fan: Arc::clone(&fan),
+            band,
+        });
+    }
+    // Execute band 0 ourselves, then help drain the band queue (any
+    // query's bands) until ours are all in — this is what keeps a
+    // 1-worker pool deadlock-free.
+    fan.run_band(0);
+    while fan.remaining.load(Ordering::Acquire) > 0 {
+        if Instant::now() >= job.deadline {
+            return Err(DsError::DeadlineMissed { query: job.id });
+        }
+        match inner.subtasks.try_poll() {
+            Some(t) => t.fan.run_band(t.band),
+            None => std::thread::sleep(Duration::from_micros(50)),
+        }
+    }
+    merge(&fan, region)
+}
+
+/// Merge band partials **in band order** — the determinism contract.
+fn merge(fan: &Fan, region: &Region) -> Result<QueryOutput, DsError> {
+    let mut results = fan.results.lock();
+    match fan.how {
+        Some(how) => {
+            let mut acc = reduce_identity(how);
+            let mut count: u64 = 0;
+            for slot in results.iter_mut() {
+                match slot.take().expect("remaining hit 0")? {
+                    BandOut::Part(a, c) => {
+                        acc = merge_reduction(how, acc, a);
+                        count += c;
+                    }
+                    BandOut::Data(..) => unreachable!("reduce fan produced data"),
+                }
+            }
+            Ok(QueryOutput::Value(finish_reduction(how, acc, count)))
+        }
+        None => {
+            let mut out: Option<DataArray> = None;
+            let mut covered: u64 = 0;
+            for (i, slot) in results.iter_mut().enumerate() {
+                let BandOut::Data(data, c) = slot.take().expect("remaining hit 0")? else {
+                    unreachable!("range fan produced a partial value")
+                };
+                let band = &fan.bands[i];
+                let out = out.get_or_insert_with(|| {
+                    DataArray::zeros(data.dtype(), region.volume() as usize)
+                });
+                copy_box_between(
+                    &data,
+                    &band.corner,
+                    &band.extent,
+                    out,
+                    &region.corner,
+                    &region.extent,
+                    &band.corner,
+                    &band.extent,
+                )
+                .map_err(|_| DsError::DtypeMismatch)?;
+                covered += c;
+            }
+            if covered != region.volume() {
+                return Err(DsError::Incomplete {
+                    missing_elems: region.volume() - covered,
+                });
+            }
+            Ok(out
+                .map(QueryOutput::Data)
+                .unwrap_or_else(|| QueryOutput::Data(DataArray::F64(Vec::new()))))
+        }
+    }
+}
+
+fn serve_continuous(inner: &Arc<Inner>, var: &str, version: u64) {
+    // The commit already happened; a missing session means the version
+    // was evicted between enqueue and service — nothing to deliver.
+    let Ok(session) = inner.space.session_now(var, version) else {
+        return;
+    };
+    let mut subs = inner.subs.lock();
+    subs.retain(|sub| {
+        if sub.var != var {
+            return true;
+        }
+        let Ok(value) = session.reduce(&sub.region, sub.how) else {
+            return true;
+        };
+        match sub.tx.try_send(ContinuousUpdate {
+            var: var.to_string(),
+            version,
+            value,
+        }) {
+            Ok(()) => {
+                inner.delivered.inc();
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                inner.dropped.inc();
+                true
+            }
+            // Handle dropped: unsubscribe.
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DsConfig;
+
+    fn staged_space() -> Arc<DataSpaces> {
+        let ds = Arc::new(DataSpaces::new(DsConfig::new(
+            vec![64, 64],
+            vec![16, 16],
+            4,
+        )));
+        let whole = Region::whole(&[64, 64]);
+        let data: Vec<f64> = (0..64 * 64).map(|i| i as f64).collect();
+        ds.put("field", 0, &whole, DataArray::F64(data)).unwrap();
+        ds.commit("field", 0);
+        ds
+    }
+
+    fn service(ds: &Arc<DataSpaces>, workers: usize) -> QueryService {
+        QueryService::new(
+            Arc::clone(ds),
+            QueryServiceConfig {
+                workers,
+                ..QueryServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn range_query_round_trips() {
+        let ds = staged_space();
+        let svc = service(&ds, 2);
+        let q = Region::new(vec![10, 0], vec![30, 64]);
+        let resp = svc.query("field", 0, QueryKind::Range(q.clone())).unwrap();
+        assert_eq!(resp.version, 0);
+        let expected = ds.get("field", 0, &q, Duration::from_secs(1)).unwrap();
+        assert_eq!(resp.output.into_data(), expected);
+    }
+
+    #[test]
+    fn fanned_results_match_inline_at_any_worker_count() {
+        let ds = staged_space();
+        let q = Region::new(vec![3, 5], vec![57, 50]);
+        let inline = ds.get("field", 0, &q, Duration::from_secs(1)).unwrap();
+        let inline_sum = ds
+            .reduce("field", 0, &q, Reduction::Sum, Duration::from_secs(1))
+            .unwrap();
+        for workers in [1usize, 2, 7] {
+            let svc = service(&ds, workers);
+            let got = svc
+                .query("field", 0, QueryKind::Range(q.clone()))
+                .unwrap()
+                .output
+                .into_data();
+            assert_eq!(got, inline, "range identical at {workers} workers");
+            let sum = svc
+                .query("field", 0, QueryKind::Reduce(q.clone(), Reduction::Sum))
+                .unwrap()
+                .output
+                .value();
+            assert_eq!(sum.to_bits(), inline_sum.to_bits(), "bit-identical sum");
+        }
+    }
+
+    #[test]
+    fn deadline_is_enforced() {
+        let ds = Arc::new(DataSpaces::new(DsConfig::new(
+            vec![64, 64],
+            vec![16, 16],
+            4,
+        )));
+        let svc = service(&ds, 1);
+        // Version 9 is never committed: the query burns its (tiny)
+        // deadline waiting and must fail, not hang.
+        let q = Region::new(vec![0, 0], vec![4, 4]);
+        let err = svc
+            .submit_with_deadline("ghost", 9, QueryKind::Range(q), Duration::from_millis(30))
+            .unwrap()
+            .wait(Duration::from_secs(5))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DsError::VersionTimeout { .. } | DsError::DeadlineMissed { .. }
+            ),
+            "{err:?}"
+        );
+        let snap = obs::global().snapshot();
+        let missed = snap
+            .counter("dataspaces.query_deadline_missed", &[])
+            .unwrap_or(0);
+        let admitted = snap
+            .counter("dataspaces.queries_admitted", &[("kind", "range")])
+            .unwrap_or(0);
+        assert!(admitted >= 1);
+        let _ = missed; // either error branch is acceptable; both counted above
+    }
+
+    #[test]
+    fn continuous_subscription_fires_per_commit_and_drops_on_overflow() {
+        let ds = Arc::new(DataSpaces::new(DsConfig::new(vec![16, 16], vec![4, 4], 2)));
+        let svc = service(&ds, 2);
+        let region = Region::whole(&[16, 16]);
+        let sub = svc.subscribe_reduce("f", region.clone(), Reduction::Max, 1);
+        for v in 0..3u64 {
+            ds.put("f", v, &region, DataArray::F64(vec![v as f64; 256]))
+                .unwrap();
+            ds.commit("f", v);
+        }
+        // Capacity 1 with three commits: at least one update arrives and
+        // carries a max consistent with its version.
+        let first = sub.recv(Duration::from_secs(5)).expect("an update");
+        assert_eq!(first.var, "f");
+        assert_eq!(first.value, first.version as f64);
+        drop(sub);
+        // After the handle drops, a later commit prunes the subscription
+        // rather than erroring.
+        ds.put("f", 9, &region, DataArray::F64(vec![0.0; 256]))
+            .unwrap();
+        ds.commit("f", 9);
+    }
+
+    #[test]
+    fn queries_bind_to_their_version_across_eviction() {
+        let ds = staged_space();
+        let svc = service(&ds, 2);
+        let whole = Region::whole(&[64, 64]);
+        // Stage and commit a second version, then evict version 0 while
+        // no query is running; a new query for v0 must fail cleanly...
+        ds.put("field", 1, &whole, DataArray::F64(vec![1.0; 64 * 64]))
+            .unwrap();
+        ds.commit("field", 1);
+        ds.evict_before("field", 1);
+        // (an evicted version is "no longer committed", so the wait
+        // burns the deadline rather than finding it)
+        let err = svc
+            .submit_with_deadline(
+                "field",
+                0,
+                QueryKind::Range(whole.clone()),
+                Duration::from_millis(50),
+            )
+            .unwrap()
+            .wait(Duration::from_secs(5))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DsError::VersionTimeout { .. } | DsError::NotCommitted { .. }
+            ),
+            "{err:?}"
+        );
+        // ...while v1 serves.
+        let ok = svc.query("field", 1, QueryKind::Reduce(whole, Reduction::Min));
+        assert_eq!(ok.unwrap().output.value(), 1.0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let ds = staged_space();
+        let svc = service(&ds, 1);
+        svc.shutdown();
+        let q = Region::new(vec![0, 0], vec![4, 4]);
+        match svc.submit("field", 0, QueryKind::Range(q)) {
+            Err(DsError::ServiceClosed) => {}
+            Err(other) => panic!("expected ServiceClosed, got {other:?}"),
+            Ok(_) => panic!("expected ServiceClosed, got an admitted ticket"),
+        }
+    }
+}

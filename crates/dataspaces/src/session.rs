@@ -1,0 +1,173 @@
+//! Snapshot-bound read sessions.
+//!
+//! A [`Session`] is a query's view of the space: it binds to one
+//! `(variable, version)` at admission by cloning the committed shard
+//! snapshots (one `Arc` pointer copy per shard) and the variable's
+//! directory entry. From then on every scan runs against frozen
+//! [`Arc`]'d blocks — **no locks**, so committed reads never block puts
+//! and a concurrent commit or `evict_before` can never corrupt an
+//! in-flight scan (the old maps stay alive until the last session drops
+//! them: snapshot isolation by reference counting).
+//!
+//! Band scans ([`Session::get_band`] / [`Session::reduce_band`]) are the
+//! unit of parallel fan-out used by the query service: the band
+//! decomposition ([`DsConfig::row_bands`]) and the band-order merge are
+//! pure functions of the query, so results are byte-identical at any
+//! worker count.
+
+use std::sync::Arc;
+
+use bpio::{copy_box_between, DataArray, Dtype};
+
+use crate::domain::{DsConfig, Region};
+use crate::error::DsError;
+use crate::index::{self, BlockMap};
+use crate::space::Reduction;
+
+/// A read session pinned to the committed snapshot of one
+/// `(variable, version)`. Cheap to clone and `Send + Sync`: scans from
+/// any thread see the same frozen data.
+#[derive(Clone)]
+pub struct Session {
+    pub(crate) cfg: Arc<DsConfig>,
+    pub(crate) var: Arc<str>,
+    pub(crate) var_id: u32,
+    pub(crate) version: u64,
+    /// `None` when the version was committed without any put (a scan
+    /// then covers nothing).
+    pub(crate) dtype: Option<Dtype>,
+    pub(crate) epoch: u64,
+    pub(crate) shards: Vec<Arc<BlockMap>>,
+}
+
+impl Session {
+    pub fn var(&self) -> &str {
+        &self.var
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The publication epoch this session is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Retrieve the data of `region` from the pinned snapshot. Errors
+    /// if parts of the region were never put (holes).
+    pub fn get(&self, region: &Region) -> Result<DataArray, DsError> {
+        self.cfg.check(region)?;
+        let (out, covered) = self.get_band(region)?;
+        if covered != region.volume() {
+            return Err(DsError::Incomplete {
+                missing_elems: region.volume() - covered,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reduction over `region` on the pinned snapshot. Holes are
+    /// skipped, matching [`crate::DataSpaces::reduce`].
+    pub fn reduce(&self, region: &Region, how: Reduction) -> Result<f64, DsError> {
+        self.cfg.check(region)?;
+        let (acc, count) = self.reduce_band(region, how);
+        Ok(finish_reduction(how, acc, count))
+    }
+
+    /// Scan one band: the band's data (row-major over `band`) plus how
+    /// many of its elements were actually covered by puts. Completeness
+    /// is judged by the *merger* over the whole query, not per band.
+    pub(crate) fn get_band(&self, band: &Region) -> Result<(DataArray, u64), DsError> {
+        let mut out = DataArray::zeros(self.dtype.unwrap_or(Dtype::F64), band.volume() as usize);
+        let mut covered: u64 = 0;
+        if self.dtype.is_none() {
+            return Ok((out, 0));
+        }
+        for g in self.cfg.blocks_of(band) {
+            let key = (self.var_id, self.version, self.cfg.grid_index(&g));
+            let Some(block) = self.shards[self.cfg.shard_of(&g)].get(&key) else {
+                continue;
+            };
+            let isect = block
+                .region
+                .intersect(band)
+                .expect("block intersects query band");
+            covered += index::count_filled(block, &isect);
+            copy_box_between(
+                &block.data,
+                &block.region.corner,
+                &block.region.extent,
+                &mut out,
+                &band.corner,
+                &band.extent,
+                &isect.corner,
+                &isect.extent,
+            )
+            .map_err(|_| DsError::DtypeMismatch)?;
+        }
+        Ok((out, covered))
+    }
+
+    /// Partial reduction over one band: `(accumulator, filled count)`.
+    /// Partials merge in band order via [`merge_reduction`]. The band
+    /// decomposition and the merge order are pure functions of the
+    /// query — never of worker count or scheduling — so a fanned-out
+    /// reduction is bit-identical across any parallelism (and exactly
+    /// equals the single-scan result whenever the accumulation is
+    /// exact: min/max/count always, sum/avg when values are
+    /// integer-valued).
+    pub(crate) fn reduce_band(&self, band: &Region, how: Reduction) -> (f64, u64) {
+        let mut acc = reduce_identity(how);
+        let mut count: u64 = 0;
+        for g in self.cfg.blocks_of(band) {
+            let key = (self.var_id, self.version, self.cfg.grid_index(&g));
+            let Some(block) = self.shards[self.cfg.shard_of(&g)].get(&key) else {
+                continue;
+            };
+            let isect = block
+                .region
+                .intersect(band)
+                .expect("block intersects query band");
+            index::for_each_filled(block, &isect, |v| {
+                count += 1;
+                match how {
+                    Reduction::Min => acc = acc.min(v),
+                    Reduction::Max => acc = acc.max(v),
+                    Reduction::Sum | Reduction::Avg => acc += v,
+                    Reduction::Count => {}
+                }
+            });
+        }
+        (acc, count)
+    }
+}
+
+/// Fold-identity of a reduction's accumulator.
+pub(crate) fn reduce_identity(how: Reduction) -> f64 {
+    match how {
+        Reduction::Min => f64::INFINITY,
+        Reduction::Max => f64::NEG_INFINITY,
+        _ => 0.0,
+    }
+}
+
+/// Merge two band partials (in band order, for determinism).
+pub(crate) fn merge_reduction(how: Reduction, a: f64, b: f64) -> f64 {
+    match how {
+        Reduction::Min => a.min(b),
+        Reduction::Max => a.max(b),
+        Reduction::Sum | Reduction::Avg => a + b,
+        Reduction::Count => 0.0,
+    }
+}
+
+/// Turn the merged accumulator + count into the query's answer.
+pub(crate) fn finish_reduction(how: Reduction, acc: f64, count: u64) -> f64 {
+    match how {
+        Reduction::Count => count as f64,
+        Reduction::Avg if count > 0 => acc / count as f64,
+        Reduction::Avg => f64::NAN,
+        _ => acc,
+    }
+}

@@ -1,7 +1,21 @@
-//! The shared space: shards, directory, coherence, queries.
+//! The shared space: sharded block store, directory, coherence, queries.
+//!
+//! Storage lives in the sharded, cache-line-padded [`ShardIndex`]
+//! (pending vs. published planes; see `index.rs`). This module owns the
+//! *directory* — per-variable metadata sharded by name hash — and the
+//! coherence protocol: `commit` freezes a version's blocks, publishes
+//! them as an immutable snapshot, registers the version in the
+//! directory, and wakes waiting readers. Registration, the committed
+//! check, and the condvar wait all share one mutex per directory shard,
+//! so a reader can never miss a wake-up between checking and parking
+//! (the classic condvar race the old global `commit_lock` left open).
+//!
+//! Committed reads go through [`Session`]s (snapshot handles) and take
+//! no lock a writer uses; see `session.rs`.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bpio::{copy_box_between, DataArray, Dtype};
@@ -10,55 +24,52 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::domain::{DsConfig, Region};
 use crate::error::DsError;
-
-/// Key of one stored block.
-type BlockKey = (String, u64, Vec<u64>); // (var, version, grid coord)
-
-/// One stored block: the clipped block region, its data, and a per-element
-/// fill mask (puts may cover a block partially, from several writers).
-struct Block {
-    region: Region,
-    data: DataArray,
-    filled: Vec<u64>, // bitmask words
-    n_filled: u64,
-}
-
-impl Block {
-    fn new(region: Region, dtype: Dtype) -> Self {
-        let n = region.volume() as usize;
-        Block {
-            data: DataArray::zeros(dtype, n),
-            filled: vec![0; n.div_ceil(64)],
-            n_filled: 0,
-            region,
-        }
-    }
-
-    fn mark(&mut self, local_idx: u64) {
-        let w = (local_idx / 64) as usize;
-        let b = 1u64 << (local_idx % 64);
-        if self.filled[w] & b == 0 {
-            self.filled[w] |= b;
-            self.n_filled += 1;
-        }
-    }
-
-    fn is_set(&self, local_idx: u64) -> bool {
-        self.filled[(local_idx / 64) as usize] & (1 << (local_idx % 64)) != 0
-    }
-}
-
-/// One server shard: its slice of the block store.
-#[derive(Default)]
-struct Shard {
-    blocks: RwLock<HashMap<BlockKey, Block>>,
-}
+use crate::index::{self, Block, ShardIndex};
+use crate::session::Session;
 
 /// Per-variable directory entry (sharded by variable-name hash).
-#[derive(Default, Clone)]
 struct VarMeta {
+    /// Interned id: block keys are numeric, so index probes never
+    /// allocate or hash strings.
+    id: u32,
     dtype: Option<Dtype>,
     committed: Vec<u64>,
+}
+
+/// One directory shard: its variables plus the commit condvar. The
+/// mutex covers *both* the committed set and the wait — commit
+/// registration and `wait_committed` cannot race.
+struct DirShard {
+    vars: Mutex<HashMap<String, VarMeta>>,
+    commit_cv: Condvar,
+}
+
+impl Default for DirShard {
+    fn default() -> Self {
+        DirShard {
+            vars: Mutex::new(HashMap::new()),
+            commit_cv: Condvar::new(),
+        }
+    }
+}
+
+/// A resolved variable handle: the directory lookup (name → interned
+/// id + dtype) done once, so hot put loops skip the directory lock.
+#[derive(Clone)]
+pub struct VarRef {
+    name: Arc<str>,
+    id: u32,
+    dtype: Dtype,
+}
+
+impl VarRef {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
+    }
 }
 
 /// A continuous-query notification: new data intersecting a subscribed
@@ -76,6 +87,10 @@ struct Subscription {
     region: Region,
     tx: Sender<Notification>,
 }
+
+/// A hook invoked after every commit publishes (the query service's
+/// continuous queries ride on this).
+pub type CommitHook = Box<dyn Fn(&str, u64) + Send + Sync>;
 
 /// Aggregation queries supported over regions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,31 +114,39 @@ pub struct SpaceStats {
 }
 
 /// The virtual shared space. Thread-safe: writers (staging operators) and
-/// readers (querying applications) call it concurrently.
+/// readers (querying applications) call it concurrently; committed reads
+/// are lock-free against writers.
 pub struct DataSpaces {
-    cfg: DsConfig,
-    shards: Vec<Shard>,
-    dirs: Vec<RwLock<HashMap<String, VarMeta>>>,
-    commit_lock: Mutex<()>,
-    commit_cv: Condvar,
-    subs: Mutex<Vec<Subscription>>,
+    cfg: Arc<DsConfig>,
+    index: ShardIndex,
+    dirs: Box<[DirShard]>,
+    next_var_id: AtomicU32,
+    subs: RwLock<Vec<Subscription>>,
+    hooks: RwLock<Vec<CommitHook>>,
     stats: SpaceStats,
+    commits: obs::Counter,
+    snapshots: obs::Counter,
+    evicted: obs::Counter,
+    epoch_gauge: obs::Gauge,
 }
 
 impl DataSpaces {
     pub fn new(cfg: DsConfig) -> Self {
-        let shards = (0..cfg.n_shards).map(|_| Shard::default()).collect();
-        let dirs = (0..cfg.n_shards)
-            .map(|_| RwLock::new(HashMap::new()))
-            .collect();
+        let reg = obs::global();
+        let index = ShardIndex::new(cfg.n_shards);
+        let dirs = (0..cfg.n_shards).map(|_| DirShard::default()).collect();
         DataSpaces {
-            cfg,
-            shards,
+            cfg: Arc::new(cfg),
+            index,
             dirs,
-            commit_lock: Mutex::new(()),
-            commit_cv: Condvar::new(),
-            subs: Mutex::new(Vec::new()),
+            next_var_id: AtomicU32::new(0),
+            subs: RwLock::new(Vec::new()),
+            hooks: RwLock::new(Vec::new()),
             stats: SpaceStats::default(),
+            commits: reg.counter("dataspaces.commits", &[]),
+            snapshots: reg.counter("dataspaces.snapshots", &[]),
+            evicted: reg.counter("dataspaces.evicted_blocks", &[]),
+            epoch_gauge: reg.gauge("dataspaces.epoch", &[]),
         }
     }
 
@@ -135,9 +158,64 @@ impl DataSpaces {
         &self.stats
     }
 
+    /// The current publication epoch (bumped by every commit/evict).
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
+    fn dir(&self, var: &str) -> &DirShard {
+        &self.dirs[self.cfg.dir_shard_of(var)]
+    }
+
+    /// Directory entry for `var`, created on first touch.
+    fn meta_id(&self, var: &str) -> u32 {
+        let mut vars = self.dir(var).vars.lock();
+        self.entry_id(&mut vars, var)
+    }
+
+    fn entry_id(&self, vars: &mut HashMap<String, VarMeta>, var: &str) -> u32 {
+        match vars.get(var) {
+            Some(m) => m.id,
+            None => {
+                let id = self.next_var_id.fetch_add(1, Ordering::Relaxed);
+                vars.insert(
+                    var.to_string(),
+                    VarMeta {
+                        id,
+                        dtype: None,
+                        committed: Vec::new(),
+                    },
+                );
+                id
+            }
+        }
+    }
+
+    /// Resolve `var` to a reusable handle, registering `dtype` (first
+    /// writer wins; conflicts error). Hot put loops resolve once and
+    /// then call [`put_ref`](Self::put_ref), skipping the directory
+    /// lock per put.
+    pub fn resolve_var(&self, var: &str, dtype: Dtype) -> Result<VarRef, DsError> {
+        let mut vars = self.dir(var).vars.lock();
+        let id = self.entry_id(&mut vars, var);
+        let meta = vars.get_mut(var).expect("entry just ensured");
+        match meta.dtype {
+            None => meta.dtype = Some(dtype),
+            Some(d) if d == dtype => {}
+            Some(_) => return Err(DsError::DtypeMismatch),
+        }
+        Ok(VarRef {
+            name: Arc::from(var),
+            id,
+            dtype,
+        })
+    }
+
     /// Insert `data` (row-major over `region`) as version `version` of
-    /// `var`. Data is split into blocks hashed across shards; concurrent
-    /// puts to disjoint regions are lock-compatible per shard.
+    /// `var`. Data is split into blocks hashed across shards; puts only
+    /// ever lock the pending plane of the shards they touch, so
+    /// concurrent puts to different shards never contend and committed
+    /// readers are never blocked at all.
     pub fn put(
         &self,
         var: &str,
@@ -152,42 +230,56 @@ impl DataSpaces {
                 got: data.len() as u64,
             });
         }
-        let dtype = data.dtype();
-        // Directory: register dtype (first writer wins; conflicts error).
-        {
-            let mut dir = self.dirs[self.cfg.dir_shard_of(var)].write();
-            let meta = dir.entry(var.to_string()).or_default();
-            match meta.dtype {
-                None => meta.dtype = Some(dtype),
-                Some(d) if d == dtype => {}
-                Some(_) => return Err(DsError::DtypeMismatch),
-            }
-        }
+        let var = self.resolve_var(var, data.dtype())?;
+        self.put_ref(&var, version, region, data)
+    }
 
+    /// [`put`](Self::put) through a pre-resolved handle (no directory
+    /// lock on the hot path).
+    pub fn put_ref(
+        &self,
+        var: &VarRef,
+        version: u64,
+        region: &Region,
+        data: DataArray,
+    ) -> Result<(), DsError> {
+        self.cfg.check(region)?;
+        if data.len() as u64 != region.volume() {
+            return Err(DsError::LengthMismatch {
+                expected: region.volume(),
+                got: data.len() as u64,
+            });
+        }
+        if data.dtype() != var.dtype {
+            return Err(DsError::DtypeMismatch);
+        }
         for g in self.cfg.blocks_of(region) {
             let block_region = self.cfg.block_region(&g);
             let isect = block_region
                 .intersect(region)
                 .expect("blocks_of returned it");
-            let shard = &self.shards[self.cfg.shard_of(&g)];
-            let mut blocks = shard.blocks.write();
-            let key = (var.to_string(), version, g.clone());
-            let block = blocks
-                .entry(key)
-                .or_insert_with(|| Block::new(block_region.clone(), dtype));
-            copy_box_between(
-                &data,
-                &region.corner,
-                &region.extent,
-                &mut block.data,
-                &block.region.corner,
-                &block.region.extent,
-                &isect.corner,
-                &isect.extent,
-            )
-            .map_err(|_| DsError::DtypeMismatch)?;
-            // Mark fill per element of the intersection.
-            mark_region(block, &isect);
+            let key = (var.id, version, self.cfg.grid_index(&g));
+            let dtype = var.dtype;
+            self.index.with_block(
+                self.cfg.shard_of(&g),
+                key,
+                move || Block::new(block_region, dtype),
+                |block| {
+                    copy_box_between(
+                        &data,
+                        &region.corner,
+                        &region.extent,
+                        &mut block.data,
+                        &block.region.corner,
+                        &block.region.extent,
+                        &isect.corner,
+                        &isect.extent,
+                    )
+                    .map_err(|_| DsError::DtypeMismatch)?;
+                    index::mark_region(block, &isect);
+                    Ok::<(), DsError>(())
+                },
+            )?;
             self.stats.blocks_touched.fetch_add(1, Ordering::Relaxed);
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
@@ -196,13 +288,13 @@ impl DataSpaces {
             .fetch_add(data.byte_len() as u64, Ordering::Relaxed);
 
         // Continuous queries: notify intersecting subscriptions.
-        let subs = self.subs.lock();
+        let subs = self.subs.read();
         for s in subs.iter() {
-            if s.var == var {
+            if s.var == *var.name {
                 if let Some(hit) = s.region.intersect(region) {
                     if s.tx
                         .send(Notification {
-                            var: var.to_string(),
+                            var: var.name.to_string(),
                             version,
                             region: hit,
                         })
@@ -216,28 +308,41 @@ impl DataSpaces {
         Ok(())
     }
 
-    /// Declare version `version` of `var` complete; unblocks waiting
-    /// getters (the coherence protocol's publication point).
+    /// Declare version `version` of `var` complete: freeze its pending
+    /// blocks, publish them as an immutable snapshot (the epoch bump),
+    /// register the version, and wake waiting getters. Publication
+    /// happens *before* registration, so a woken reader's snapshot
+    /// always contains the committed blocks.
     pub fn commit(&self, var: &str, version: u64) {
+        let id = self.meta_id(var);
+        self.index.publish(id, version);
         {
-            let mut dir = self.dirs[self.cfg.dir_shard_of(var)].write();
-            let meta = dir.entry(var.to_string()).or_default();
+            let dir = self.dir(var);
+            let mut vars = dir.vars.lock();
+            let meta = vars.get_mut(var).expect("meta_id ensured the entry");
             if !meta.committed.contains(&version) {
                 meta.committed.push(version);
             }
+            dir.commit_cv.notify_all();
         }
-        let _g = self.commit_lock.lock();
-        self.commit_cv.notify_all();
+        self.commits.inc();
+        self.epoch_gauge.set(self.index.epoch() as i64);
+        for hook in self.hooks.read().iter() {
+            hook(var, version);
+        }
     }
 
     pub fn is_committed(&self, var: &str, version: u64) -> bool {
-        self.dirs[self.cfg.dir_shard_of(var)]
-            .read()
+        self.dir(var)
+            .vars
+            .lock()
             .get(var)
             .is_some_and(|m| m.committed.contains(&version))
     }
 
     /// Block until `version` of `var` is committed, up to `timeout`.
+    /// The committed check and the wait happen under the same mutex
+    /// commit registers through — no missed-wakeup window.
     pub fn wait_committed(
         &self,
         var: &str,
@@ -245,8 +350,15 @@ impl DataSpaces {
         timeout: Duration,
     ) -> Result<(), DsError> {
         let deadline = Instant::now() + timeout;
-        let mut guard = self.commit_lock.lock();
-        while !self.is_committed(var, version) {
+        let dir = self.dir(var);
+        let mut vars = dir.vars.lock();
+        loop {
+            if vars
+                .get(var)
+                .is_some_and(|m| m.committed.contains(&version))
+            {
+                return Ok(());
+            }
             let now = Instant::now();
             if now >= deadline {
                 return Err(DsError::VersionTimeout {
@@ -254,13 +366,54 @@ impl DataSpaces {
                     version,
                 });
             }
-            self.commit_cv.wait_for(&mut guard, deadline - now);
+            dir.commit_cv.wait_for(&mut vars, deadline - now);
         }
-        Ok(())
+    }
+
+    /// Open a read session pinned to the committed snapshot of
+    /// `(var, version)`, waiting for the commit first. The session
+    /// scans lock-free and survives later commits and evictions
+    /// untouched (snapshot isolation).
+    pub fn session(&self, var: &str, version: u64, timeout: Duration) -> Result<Session, DsError> {
+        self.wait_committed(var, version, timeout)?;
+        self.session_now(var, version)
+    }
+
+    /// [`session`](Self::session) without waiting: errors with
+    /// [`DsError::NotCommitted`] unless the version is committed right
+    /// now (and not yet evicted).
+    pub fn session_now(&self, var: &str, version: u64) -> Result<Session, DsError> {
+        let (var_id, dtype) = {
+            let vars = self.dir(var).vars.lock();
+            let meta = vars.get(var).ok_or_else(|| DsError::NotCommitted {
+                var: var.to_string(),
+                version,
+            })?;
+            if !meta.committed.contains(&version) {
+                return Err(DsError::NotCommitted {
+                    var: var.to_string(),
+                    version,
+                });
+            }
+            (meta.id, meta.dtype)
+        };
+        let session = Session {
+            cfg: Arc::clone(&self.cfg),
+            var: Arc::from(var),
+            var_id,
+            version,
+            dtype,
+            epoch: self.index.epoch(),
+            shards: self.index.snapshot(),
+        };
+        self.snapshots.inc();
+        Ok(session)
     }
 
     /// Retrieve the data of `region` at `version`, waiting for the commit
-    /// first. Errors if parts of the region were never put.
+    /// first. Errors if parts of the region were never put. The scan
+    /// runs on a committed snapshot: no shard write lock is taken and
+    /// concurrent puts proceed unblocked.
     pub fn get(
         &self,
         var: &str,
@@ -268,11 +421,19 @@ impl DataSpaces {
         region: &Region,
         timeout: Duration,
     ) -> Result<DataArray, DsError> {
-        self.wait_committed(var, version, timeout)?;
-        self.get_nowait(var, version, region)
+        let session = self.session(var, version, timeout)?;
+        let out = session.get(region)?;
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_got
+            .fetch_add(out.byte_len() as u64, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// Retrieve without coherence (reader manages synchronization).
+    /// This is the one read path that sees *uncommitted* puts: pending
+    /// blocks overlay the committed snapshot, so it briefly takes the
+    /// touched shards' pending locks.
     pub fn get_nowait(
         &self,
         var: &str,
@@ -280,39 +441,47 @@ impl DataSpaces {
         region: &Region,
     ) -> Result<DataArray, DsError> {
         self.cfg.check(region)?;
-        let dtype = self.dirs[self.cfg.dir_shard_of(var)]
-            .read()
-            .get(var)
-            .and_then(|m| m.dtype)
-            .ok_or(DsError::Incomplete {
+        let (var_id, dtype) = {
+            let vars = self.dir(var).vars.lock();
+            let meta = vars.get(var);
+            (meta.map(|m| m.id), meta.and_then(|m| m.dtype))
+        };
+        let (Some(var_id), Some(dtype)) = (var_id, dtype) else {
+            return Err(DsError::Incomplete {
                 missing_elems: region.volume(),
-            })?;
+            });
+        };
         let mut out = DataArray::zeros(dtype, region.volume() as usize);
         let mut covered: u64 = 0;
         for g in self.cfg.blocks_of(region) {
-            let shard = &self.shards[self.cfg.shard_of(&g)];
-            let blocks = shard.blocks.read();
-            let key = (var.to_string(), version, g.clone());
-            let Some(block) = blocks.get(&key) else {
-                continue;
-            };
-            let isect = block
-                .region
-                .intersect(region)
-                .expect("block intersects query");
-            covered += count_filled(block, &isect);
-            copy_box_between(
-                &block.data,
-                &block.region.corner,
-                &block.region.extent,
-                &mut out,
-                &region.corner,
-                &region.extent,
-                &isect.corner,
-                &isect.extent,
-            )
-            .map_err(|_| DsError::DtypeMismatch)?;
-            self.stats.blocks_touched.fetch_add(1, Ordering::Relaxed);
+            let key = (var_id, version, self.cfg.grid_index(&g));
+            let copied = self.index.read_dirty(self.cfg.shard_of(&g), key, |block| {
+                let isect = block
+                    .region
+                    .intersect(region)
+                    .expect("block intersects query");
+                let filled = index::count_filled(block, &isect);
+                copy_box_between(
+                    &block.data,
+                    &block.region.corner,
+                    &block.region.extent,
+                    &mut out,
+                    &region.corner,
+                    &region.extent,
+                    &isect.corner,
+                    &isect.extent,
+                )
+                .map_err(|_| DsError::DtypeMismatch)?;
+                Ok::<u64, DsError>(filled)
+            });
+            match copied {
+                None => {}
+                Some(Ok(filled)) => {
+                    covered += filled;
+                    self.stats.blocks_touched.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(Err(e)) => return Err(e),
+            }
         }
         if covered != region.volume() {
             return Err(DsError::Incomplete {
@@ -327,8 +496,8 @@ impl DataSpaces {
     }
 
     /// Aggregation query over a region (paper: "max/min/average value for
-    /// a particular field in a given sub-region"). Streams block by block;
-    /// never materializes the full region.
+    /// a particular field in a given sub-region"). Streams block by block
+    /// over the committed snapshot; never materializes the full region.
     pub fn reduce(
         &self,
         var: &str,
@@ -337,48 +506,17 @@ impl DataSpaces {
         how: Reduction,
         timeout: Duration,
     ) -> Result<f64, DsError> {
-        self.wait_committed(var, version, timeout)?;
-        self.cfg.check(region)?;
-        let mut acc = match how {
-            Reduction::Min => f64::INFINITY,
-            Reduction::Max => f64::NEG_INFINITY,
-            _ => 0.0,
-        };
-        let mut count: u64 = 0;
-        for g in self.cfg.blocks_of(region) {
-            let shard = &self.shards[self.cfg.shard_of(&g)];
-            let blocks = shard.blocks.read();
-            let key = (var.to_string(), version, g.clone());
-            let Some(block) = blocks.get(&key) else {
-                continue;
-            };
-            let isect = block
-                .region
-                .intersect(region)
-                .expect("block intersects query");
-            for_each_filled(block, &isect, |v| {
-                count += 1;
-                match how {
-                    Reduction::Min => acc = acc.min(v),
-                    Reduction::Max => acc = acc.max(v),
-                    Reduction::Sum | Reduction::Avg => acc += v,
-                    Reduction::Count => {}
-                }
-            });
-        }
-        Ok(match how {
-            Reduction::Count => count as f64,
-            Reduction::Avg if count > 0 => acc / count as f64,
-            Reduction::Avg => f64::NAN,
-            _ => acc,
-        })
+        let session = self.session(var, version, timeout)?;
+        session.reduce(region, how)
     }
 
     /// Register a continuous query: the returned channel receives a
-    /// [`Notification`] for every future put intersecting `region`.
+    /// [`Notification`] for every future put intersecting `region`
+    /// (put-level, pre-commit; for commit-level continuous queries with
+    /// back-pressure see the query service).
     pub fn subscribe(&self, var: &str, region: Region) -> Receiver<Notification> {
         let (tx, rx) = unbounded();
-        self.subs.lock().push(Subscription {
+        self.subs.write().push(Subscription {
             var: var.to_string(),
             region,
             tx,
@@ -386,94 +524,39 @@ impl DataSpaces {
         rx
     }
 
+    /// Register a hook invoked after every commit publishes. Hooks run
+    /// on the committing thread, after waiters were woken.
+    pub fn on_commit(&self, hook: CommitHook) {
+        self.hooks.write().push(hook);
+    }
+
     /// Blocks held per shard — exposes the first-level load balance.
     pub fn shard_block_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.blocks.read().len()).collect()
+        self.index.block_counts()
     }
 
     /// Drop all blocks of versions older than `keep_from` (staging memory
     /// is finite; old versions are evicted once consumers move on).
+    /// Sessions already admitted keep their snapshot — an in-flight scan
+    /// is never corrupted by eviction.
     pub fn evict_before(&self, var: &str, keep_from: u64) -> usize {
-        let mut dropped = 0;
-        for shard in &self.shards {
-            let mut blocks = shard.blocks.write();
-            let before = blocks.len();
-            blocks.retain(|(v, ver, _), _| v != var || *ver >= keep_from);
-            dropped += before - blocks.len();
-        }
-        let mut dir = self.dirs[self.cfg.dir_shard_of(var)].write();
-        if let Some(meta) = dir.get_mut(var) {
+        let id = {
+            let mut vars = self.dir(var).vars.lock();
+            let Some(meta) = vars.get_mut(var) else {
+                return 0;
+            };
             meta.committed.retain(|&v| v >= keep_from);
-        }
+            meta.id
+        };
+        let dropped = self.index.evict_before(id, keep_from);
+        self.epoch_gauge.set(self.index.epoch() as i64);
+        self.evicted.add(dropped as u64);
         dropped
     }
-}
 
-/// Mark every element of `isect` (global coords) filled in `block`.
-fn mark_region(block: &mut Block, isect: &Region) {
-    let ndim = isect.rank();
-    let mut coord = vec![0u64; ndim];
-    let n = isect.volume();
-    for _ in 0..n {
-        let local: Vec<u64> = (0..ndim)
-            .map(|d| isect.corner[d] + coord[d] - block.region.corner[d])
-            .collect();
-        block.mark(bpio::box_to_linear(&local, &block.region.extent));
-        for d in (0..ndim).rev() {
-            coord[d] += 1;
-            if coord[d] < isect.extent[d] {
-                break;
-            }
-            coord[d] = 0;
-        }
-    }
-}
-
-fn count_filled(block: &Block, isect: &Region) -> u64 {
-    let mut n = 0;
-    visit(block, isect, |b, idx| {
-        if b.is_set(idx) {
-            n += 1;
-        }
-    });
-    n
-}
-
-fn for_each_filled(block: &Block, isect: &Region, mut f: impl FnMut(f64)) {
-    visit(block, isect, |b, idx| {
-        if b.is_set(idx) {
-            f(value_at(&b.data, idx as usize));
-        }
-    });
-}
-
-fn visit(block: &Block, isect: &Region, mut f: impl FnMut(&Block, u64)) {
-    let ndim = isect.rank();
-    let mut coord = vec![0u64; ndim];
-    let n = isect.volume();
-    for _ in 0..n {
-        let local: Vec<u64> = (0..ndim)
-            .map(|d| isect.corner[d] + coord[d] - block.region.corner[d])
-            .collect();
-        f(block, bpio::box_to_linear(&local, &block.region.extent));
-        for d in (0..ndim).rev() {
-            coord[d] += 1;
-            if coord[d] < isect.extent[d] {
-                break;
-            }
-            coord[d] = 0;
-        }
-    }
-}
-
-fn value_at(data: &DataArray, idx: usize) -> f64 {
-    match data {
-        DataArray::F32(v) => v[idx] as f64,
-        DataArray::F64(v) => v[idx],
-        DataArray::I32(v) => v[idx] as f64,
-        DataArray::I64(v) => v[idx] as f64,
-        DataArray::U32(v) => v[idx] as f64,
-        DataArray::U64(v) => v[idx] as f64,
+    #[cfg(test)]
+    pub(crate) fn test_index(&self) -> &ShardIndex {
+        &self.index
     }
 }
 
@@ -560,6 +643,24 @@ mod tests {
     }
 
     #[test]
+    fn commit_wakes_waiters_without_a_race_window() {
+        // Hammer the register/wait race: a waiter that parks a beat
+        // before the commit must still wake (registration and wait
+        // share the directory-shard mutex).
+        let ds = Arc::new(space());
+        let r = Region::new(vec![0, 0], vec![4, 4]);
+        for version in 0..100u64 {
+            ds.put("race", version, &r, ramp(&r)).unwrap();
+            let ds2 = Arc::clone(&ds);
+            let waiter = std::thread::spawn(move || {
+                ds2.wait_committed("race", version, Duration::from_secs(10))
+            });
+            ds.commit("race", version);
+            waiter.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
     fn versions_are_independent() {
         let ds = space();
         let r = Region::new(vec![0, 0], vec![4, 4]);
@@ -620,6 +721,21 @@ mod tests {
         // Other variables do not notify.
         ds.put("g", 0, &near, ramp(&near)).unwrap();
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn commit_hooks_fire_after_publication() {
+        let ds = space();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        ds.on_commit(Box::new(move |var, version| {
+            seen2.lock().push((var.to_string(), version));
+        }));
+        let r = Region::new(vec![0, 0], vec![4, 4]);
+        ds.put("f", 3, &r, ramp(&r)).unwrap();
+        assert!(seen.lock().is_empty(), "puts do not fire commit hooks");
+        ds.commit("f", 3);
+        assert_eq!(seen.lock().as_slice(), &[("f".to_string(), 3)]);
     }
 
     #[test]
@@ -692,5 +808,94 @@ mod tests {
         // Load is spread across shards.
         let counts = ds.shard_block_counts();
         assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn committed_reads_take_no_put_locks() {
+        // The acceptance-bar property: hold *every* put-side (pending)
+        // lock and a committed-version get must still complete.
+        let ds = Arc::new(space());
+        let r = Region::new(vec![0, 0], vec![32, 32]);
+        ds.put("f", 0, &r, ramp(&r)).unwrap();
+        ds.commit("f", 0);
+        let guards = ds.test_index().lock_all_pending();
+        let ds2 = Arc::clone(&ds);
+        let reader = std::thread::spawn(move || {
+            let r = Region::new(vec![0, 0], vec![32, 32]);
+            ds2.get("f", 0, &r, Duration::from_secs(5))
+        });
+        // The reader finishes while all pending locks stay held; if the
+        // read path touched any of them this would deadlock until the
+        // timeout below trips.
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        std::thread::spawn(move || {
+            let _ = tx.send(reader.join().unwrap());
+        });
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("committed get blocked on a put lock");
+        assert_eq!(got.unwrap(), ramp(&r));
+        drop(guards);
+    }
+
+    #[test]
+    fn snapshot_isolation_across_eviction() {
+        let ds = space();
+        let r = Region::new(vec![0, 0], vec![32, 32]);
+        ds.put("f", 0, &r, ramp(&r)).unwrap();
+        ds.commit("f", 0);
+        let session = ds.session_now("f", 0).unwrap();
+        let dropped = ds.evict_before("f", 1);
+        assert!(dropped > 0);
+        // New readers see the eviction...
+        assert!(ds.get_nowait("f", 0, &r).is_err());
+        assert!(matches!(
+            ds.session_now("f", 0),
+            Err(DsError::NotCommitted { .. })
+        ));
+        // ...but the admitted session still scans its full snapshot.
+        assert_eq!(session.get(&r).unwrap(), ramp(&r));
+        assert_eq!(
+            session.reduce(&r, Reduction::Count).unwrap(),
+            (32 * 32) as f64
+        );
+    }
+
+    #[test]
+    fn put_after_commit_is_invisible_until_recommit() {
+        let ds = space();
+        let a = Region::new(vec![0, 0], vec![8, 8]);
+        let b = Region::new(vec![8, 0], vec![8, 8]);
+        ds.put("f", 0, &a, ramp(&a)).unwrap();
+        ds.commit("f", 0);
+        ds.put("f", 0, &b, ramp(&b)).unwrap();
+        // Committed readers see the frozen snapshot (holes where b is)…
+        let both = Region::new(vec![0, 0], vec![16, 8]);
+        assert!(matches!(
+            ds.get("f", 0, &both, Duration::from_secs(1)),
+            Err(DsError::Incomplete { .. })
+        ));
+        // …the dirty path sees the overlay…
+        assert_eq!(ds.get_nowait("f", 0, &both).unwrap(), ramp(&both));
+        // …and a re-commit publishes it.
+        ds.commit("f", 0);
+        assert_eq!(
+            ds.get("f", 0, &both, Duration::from_secs(1)).unwrap(),
+            ramp(&both)
+        );
+    }
+
+    #[test]
+    fn epoch_advances_on_publication() {
+        let ds = space();
+        let e0 = ds.epoch();
+        let r = Region::new(vec![0, 0], vec![4, 4]);
+        ds.put("f", 0, &r, ramp(&r)).unwrap();
+        assert_eq!(ds.epoch(), e0, "puts do not publish");
+        ds.commit("f", 0);
+        let e1 = ds.epoch();
+        assert!(e1 > e0);
+        ds.evict_before("f", 1);
+        assert!(ds.epoch() > e1);
     }
 }

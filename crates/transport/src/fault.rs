@@ -43,7 +43,7 @@
 //! | key | meaning | default |
 //! |---|---|---|
 //! | `seed` | hash seed for chunk selection and retry jitter | `0` |
-//! | `drop` | P(pull attempt fails with `Timeout`, exposure kept) | `0` |
+//! | `drop` | P(pull attempt fails with `Timeout`, exposure kept); also P(query-service attempt faults, independently keyed) | `0` |
 //! | `stale` | P(pull attempt fails with `StaleHandle`, exposure kept) | `0` |
 //! | `delay_ms` | sleep injected before selected pulls | `0` |
 //! | `delay` | P(pull is delayed by `delay_ms`) | `1` if `delay_ms` set |
@@ -91,6 +91,12 @@ pub enum FaultKind {
     Delay,
     /// An `expose` fails with [`TransportError::PinBudgetExceeded`].
     Pin,
+    /// A query-service execution attempt fails with
+    /// [`TransportError::Timeout`] before touching the space (the
+    /// staged read path a real deployment would retry). Rides the same
+    /// `drop` probability as pull faults but salts and counts
+    /// independently, so enabling it never perturbs the pull schedule.
+    Query,
 }
 
 impl FaultKind {
@@ -100,6 +106,7 @@ impl FaultKind {
             FaultKind::Stale => "stale",
             FaultKind::Delay => "delay",
             FaultKind::Pin => "pin",
+            FaultKind::Query => "query",
         }
     }
 
@@ -109,6 +116,7 @@ impl FaultKind {
             FaultKind::Stale => 0x57A1,
             FaultKind::Delay => 0xDE1A,
             FaultKind::Pin => 0x0919,
+            FaultKind::Query => 0x9E4A,
         }
     }
 }
@@ -271,6 +279,7 @@ impl FaultPlan {
             FaultKind::Stale => self.stale_p,
             FaultKind::Delay => self.delay_p,
             FaultKind::Pin => self.pin_p,
+            FaultKind::Query => self.drop_p,
         };
         if p <= 0.0 {
             return false;
@@ -323,6 +332,23 @@ impl FaultPlan {
         }
         if self.try_inject(FaultKind::Stale, src_rank, step) {
             return Some(TransportError::StaleHandle(handle));
+        }
+        None
+    }
+
+    /// Consult the plan before one execution attempt of query `query`
+    /// against dump version `version` (the query service's boundary).
+    /// A faulted attempt sleeps any configured `delay_ms` (burning the
+    /// query's deadline budget) and fails with `Timeout` — keyed on
+    /// `(Query, query, version)`, disjoint from every pull-fault key,
+    /// so the same `PREDATA_FAULTS` spec exercises both paths without
+    /// coupling their schedules.
+    pub fn inject_query(&self, query: u64, version: u64) -> Option<TransportError> {
+        if self.try_inject(FaultKind::Query, query, version) {
+            if self.delay > Duration::ZERO {
+                std::thread::sleep(self.delay);
+            }
+            return Some(TransportError::Timeout);
         }
         None
     }

@@ -1,0 +1,257 @@
+//! Concurrency torture for the DataSpaces query service.
+//!
+//! The paper's operating point: the querying application hammers
+//! *committed* dump versions while the simulation keeps staging new
+//! ones. These tests pin readers to older versions under concurrent
+//! writers and eviction and demand byte-identical results against a
+//! single-threaded reference — the snapshot-isolation and determinism
+//! contracts, checked under real interleavings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use bpio::DataArray;
+use predata::dataspaces::{
+    DataSpaces, DsConfig, DsError, QueryKind, QueryOutput, QueryResponse, QueryService,
+    QueryServiceConfig, Reduction, Region,
+};
+
+const DOM: [u64; 2] = [96, 64];
+const STAGED_VERSIONS: u64 = 4;
+
+fn cfg() -> DsConfig {
+    DsConfig::new(DOM.to_vec(), vec![16, 16], 8)
+}
+
+/// Deliberately non-integer values: reductions over them round, so any
+/// deviation from the reference fold order shows up in the bits.
+fn cell(version: u64, i: u64, j: u64) -> f64 {
+    (i * DOM[1] + j) as f64 * 0.1 + version as f64
+}
+
+fn stage_version(ds: &DataSpaces, version: u64) {
+    // Two disjoint puts per version so blocks arrive from multiple
+    // regions, like independent pipeline ranks.
+    for (corner, extent) in [
+        (vec![0, 0], vec![DOM[0] / 2, DOM[1]]),
+        (vec![DOM[0] / 2, 0], vec![DOM[0] / 2, DOM[1]]),
+    ] {
+        let region = Region::new(corner, extent);
+        let mut data = Vec::with_capacity(region.volume() as usize);
+        for i in 0..region.extent[0] {
+            for j in 0..region.extent[1] {
+                data.push(cell(version, region.corner[0] + i, region.corner[1] + j));
+            }
+        }
+        ds.put("f", version, &region, DataArray::F64(data)).unwrap();
+    }
+    ds.commit("f", version);
+}
+
+/// The fixed query mix every reader replays.
+fn query_mix() -> Vec<(u64, QueryKind)> {
+    let mut queries = Vec::new();
+    for version in 0..STAGED_VERSIONS {
+        for (corner, extent) in [
+            (vec![0u64, 0u64], vec![DOM[0], DOM[1]]), // whole domain
+            (vec![7, 3], vec![41, 29]),               // straddles blocks
+            (vec![48, 0], vec![48, 64]),              // lower half
+            (vec![13, 13], vec![1, 1]),               // single cell
+        ] {
+            let region = Region::new(corner.clone(), extent.clone());
+            queries.push((version, QueryKind::Range(region.clone())));
+            for how in [
+                Reduction::Min,
+                Reduction::Max,
+                Reduction::Sum,
+                Reduction::Avg,
+            ] {
+                queries.push((version, QueryKind::Reduce(region.clone(), how)));
+            }
+        }
+    }
+    queries
+}
+
+fn run_query(svc: &QueryService, version: u64, kind: &QueryKind) -> QueryResponse {
+    svc.submit_with_deadline("f", version, kind.clone(), Duration::from_secs(30))
+        .unwrap()
+        .wait(Duration::from_secs(35))
+        .unwrap()
+}
+
+#[test]
+fn concurrent_readers_match_single_threaded_reference_bit_for_bit() {
+    let ds = Arc::new(DataSpaces::new(cfg()));
+    for v in 0..STAGED_VERSIONS {
+        stage_version(&ds, v);
+    }
+    let queries = query_mix();
+
+    // Single-threaded reference: a 1-worker service drained serially
+    // before any concurrency exists. (The band decomposition is a pure
+    // function of the query, so worker count cannot change results —
+    // that is exactly what this test holds the service to.)
+    let reference: Vec<_> = {
+        let svc = QueryService::new(
+            Arc::clone(&ds),
+            QueryServiceConfig {
+                workers: 1,
+                ..QueryServiceConfig::default()
+            },
+        );
+        queries
+            .iter()
+            .map(|(v, kind)| run_query(&svc, *v, kind).output)
+            .collect()
+    };
+    // Ranges must also equal the direct (no service, no fan-out) get.
+    for ((version, kind), output) in queries.iter().zip(&reference) {
+        if let QueryKind::Range(region) = kind {
+            let direct = ds
+                .get("f", *version, region, Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(output.clone().into_data(), direct);
+        }
+    }
+
+    // Torture: N writers stage fresh versions (with commits rippling
+    // through the index) while M readers replay the mix against the old
+    // versions. Every result must be byte-identical to the reference.
+    let svc = Arc::new(QueryService::new(
+        Arc::clone(&ds),
+        QueryServiceConfig {
+            workers: 4,
+            ..QueryServiceConfig::default()
+        },
+    ));
+    const WRITERS: u64 = 4;
+    const READERS: usize = 6;
+    let start = Arc::new(Barrier::new(WRITERS as usize + READERS));
+    let writers_done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let ds = Arc::clone(&ds);
+            let start = Arc::clone(&start);
+            s.spawn(move || {
+                start.wait();
+                stage_version(&ds, STAGED_VERSIONS + w);
+            });
+        }
+        for r in 0..READERS {
+            let svc = Arc::clone(&svc);
+            let queries = &queries;
+            let reference = &reference;
+            let start = Arc::clone(&start);
+            let writers_done = Arc::clone(&writers_done);
+            s.spawn(move || {
+                start.wait();
+                // Keep reading at least until the writers finish, so the
+                // interleaving is real; stagger each reader's starting
+                // offset so they hit different queries at once.
+                let mut rounds = 0;
+                while rounds < 3 || (!writers_done.load(Ordering::Acquire) && rounds < 64) {
+                    for k in 0..queries.len() {
+                        let idx = (k + r * 7) % queries.len();
+                        let (version, kind) = &queries[idx];
+                        let resp = run_query(&svc, *version, kind);
+                        match (&resp.output, &reference[idx]) {
+                            (QueryOutput::Value(got), QueryOutput::Value(want)) => {
+                                assert_eq!(got.to_bits(), want.to_bits(), "reduce diverged");
+                            }
+                            (got, want) => assert_eq!(got, want, "range diverged"),
+                        }
+                    }
+                    rounds += 1;
+                }
+            });
+        }
+        // Watcher: flips the flag once every torture version committed,
+        // releasing the readers' minimum-overlap loop.
+        let ds2 = Arc::clone(&ds);
+        let writers_done = Arc::clone(&writers_done);
+        s.spawn(move || {
+            for w in 0..WRITERS {
+                ds2.wait_committed("f", STAGED_VERSIONS + w, Duration::from_secs(60))
+                    .unwrap();
+            }
+            writers_done.store(true, Ordering::Release);
+        });
+    });
+
+    // The staged-during-torture versions are complete and correct too.
+    for w in 0..WRITERS {
+        let v = STAGED_VERSIONS + w;
+        let one = Region::new(vec![33, 21], vec![1, 1]);
+        let got = ds.get("f", v, &one, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, DataArray::F64(vec![cell(v, 33, 21)]));
+    }
+}
+
+#[test]
+fn snapshot_isolation_holds_across_eviction_under_load() {
+    let ds = Arc::new(DataSpaces::new(cfg()));
+    for v in 0..STAGED_VERSIONS {
+        stage_version(&ds, v);
+    }
+    let svc = Arc::new(QueryService::new(
+        Arc::clone(&ds),
+        QueryServiceConfig {
+            workers: 4,
+            ..QueryServiceConfig::default()
+        },
+    ));
+    let whole = Region::whole(&DOM);
+    let expect_v0 = ds.get("f", 0, &whole, Duration::from_secs(5)).unwrap();
+
+    // Readers pin sessions to version 0, then eviction races them.
+    let gate = Arc::new(Barrier::new(5));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let ds = Arc::clone(&ds);
+            let gate = Arc::clone(&gate);
+            let expect_v0 = &expect_v0;
+            let whole = whole.clone();
+            s.spawn(move || {
+                let session = ds.session_now("f", 0).unwrap();
+                gate.wait(); // eviction starts now
+                for _ in 0..32 {
+                    // The pinned snapshot stays complete no matter when
+                    // the eviction lands.
+                    assert_eq!(&session.get(&whole).unwrap(), expect_v0);
+                }
+            });
+        }
+        let ds = Arc::clone(&ds);
+        let gate = Arc::clone(&gate);
+        s.spawn(move || {
+            gate.wait();
+            let dropped = ds.evict_before("f", 2);
+            assert!(dropped > 0);
+        });
+    });
+
+    // After eviction: evicted versions reject *new* queries cleanly,
+    // retained ones still serve through the pool.
+    let err = svc
+        .submit_with_deadline(
+            "f",
+            0,
+            QueryKind::Range(whole.clone()),
+            Duration::from_millis(50),
+        )
+        .unwrap()
+        .wait(Duration::from_secs(5))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DsError::VersionTimeout { .. } | DsError::NotCommitted { .. }
+        ),
+        "{err:?}"
+    );
+    let kept = run_query(&svc, 2, &QueryKind::Range(whole.clone()));
+    let direct = ds.get("f", 2, &whole, Duration::from_secs(5)).unwrap();
+    assert_eq!(kept.output.into_data(), direct);
+}

@@ -1,8 +1,8 @@
 //! The complete workflow of paper §V-B.4, end to end: GTC dumps stream
 //! through the staging area, which sorts them AND indexes them into
 //! DataSpaces as an ordinary pipelined operator; a querying application
-//! runs *concurrently*, blocked only on the version commit — never on
-//! the simulation.
+//! runs *concurrently* through the [`QueryService`] front-end, blocked
+//! only on the version commit — never on the simulation.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -11,7 +11,10 @@ use predata::apps::GtcWorld;
 use predata::core::op::StreamOp;
 use predata::core::ops::SortOp;
 use predata::core::{PredataClient, StagingArea, StagingConfig};
-use predata::dataspaces::{DataSpaces, DsConfig, Reduction, Region, SpaceIndexOp};
+use predata::dataspaces::{
+    DataSpaces, DsConfig, QueryKind, QueryService, QueryServiceConfig, Reduction, Region,
+    SpaceIndexOp,
+};
 use predata::transport::{BlockRouter, Fabric, FifoPolicy, PullPolicy, Router};
 
 #[test]
@@ -30,24 +33,52 @@ fn staged_indexing_serves_concurrent_queries() {
         4,
     )));
 
+    // The query front-end the "querying application cores" talk to.
+    let service = Arc::new(QueryService::new(
+        Arc::clone(&space),
+        QueryServiceConfig {
+            workers: 3,
+            ..QueryServiceConfig::default()
+        },
+    ));
+    // A standing continuous query, registered before any data exists:
+    // every staged commit must re-evaluate it.
+    let watch = service.subscribe_reduce(
+        "weight",
+        Region::whole(&[ids_per_rank, n_compute as u64]),
+        Reduction::Count,
+        8,
+    );
+
     // Querying application: launched BEFORE any data exists. One thread
     // per "querying core", each watching a disjoint id range of step 1.
     let mut consumers = Vec::new();
     for q in 0..4u64 {
-        let space = Arc::clone(&space);
+        let service = Arc::clone(&service);
         consumers.push(std::thread::spawn(move || {
             let region = Region::new(
                 vec![q * ids_per_rank / 4, 0],
                 vec![ids_per_rank / 4, n_compute as u64],
             );
             // Blocks on the commit of version 1, not on polling files.
-            let data = space
-                .get("weight", 1, &region, Duration::from_secs(30))
-                .unwrap();
+            let data = service
+                .submit_with_deadline(
+                    "weight",
+                    1,
+                    QueryKind::Range(region.clone()),
+                    Duration::from_secs(30),
+                )
+                .unwrap()
+                .wait(Duration::from_secs(35))
+                .unwrap()
+                .output
+                .into_data();
             let sum: f64 = data.as_f64().unwrap().iter().sum();
-            let avg = space
-                .reduce("weight", 1, &region, Reduction::Avg, Duration::from_secs(5))
-                .unwrap();
+            let avg = service
+                .query("weight", 1, QueryKind::Reduce(region, Reduction::Avg))
+                .unwrap()
+                .output
+                .value();
             (sum, avg, data.len())
         }));
     }
@@ -117,6 +148,14 @@ fn staged_indexing_serves_concurrent_queries() {
         v0, v1,
         "weights are invariant in this app, so versions agree"
     );
+
+    // The continuous query fired once per staged commit, each update a
+    // full count of the indexed domain.
+    for _ in 0..n_steps {
+        let update = watch.recv(Duration::from_secs(5)).expect("commit update");
+        assert_eq!(update.var, "weight");
+        assert_eq!(update.value, total_cells as f64);
+    }
 
     // And the sorted files exist alongside — both services from one pass.
     for step in 0..n_steps {
