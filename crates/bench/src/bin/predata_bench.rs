@@ -8,7 +8,9 @@
 //! the many-small-chunks step with and without `PREDATA_PULL_BATCH`
 //! coalescing), the `query_service` scenario (1/8/64 concurrent readers
 //! hammering a committed dump version while a writer keeps staging fresh
-//! ones), plus the deterministic simhec figure models, and emits a
+//! ones), the `membership_churn` scenario (a staging rank leaves and
+//! another joins mid-run, with index handoff at the epoch boundary),
+//! plus the deterministic simhec figure models, and emits a
 //! schema-stable `BENCH_<pr>.json` — the checked-in perf trajectory that
 //! later PRs compare themselves against.
 //!
@@ -43,7 +45,7 @@ use simhec::{MachineConfig, StagedRun};
 use transport::{BlockRouter, Fabric, FifoPolicy, PullBatch, PullPolicy, Router};
 
 const SCHEMA: &str = "predata-bench-trajectory/v1";
-const PR: u64 = 7;
+const PR: u64 = 8;
 
 /// One recorded number: value, kind (`wall`/`exact`/`model`), unit.
 struct Bench {
@@ -236,6 +238,123 @@ fn query_service_scenario(quick: bool, readers: usize) -> f64 {
     (readers * queries_per_reader) as f64 / wall.max(1e-9)
 }
 
+/// The `membership_churn` scenario: an elastic staging run — base ranks
+/// {0, 1}, rank 1 leaves and rank 2 joins at the mid-run epoch boundary,
+/// the leaver's committed DataSpaces shards handed off to the joiner —
+/// next to a static reference over the same world size. Returns the
+/// median wall time of one whole run (ms) for `elastic` true/false.
+fn membership_churn_run(quick: bool, elastic: bool) -> f64 {
+    use dataspaces::{DataSpaces, DsConfig, ShardParcel, SpaceIndexOp};
+    use predata_core::{EpochHook, StagingArea, StreamOp};
+    use std::collections::HashMap;
+    use std::sync::{Condvar, Mutex};
+    use transport::{EpochRouter, Membership, MembershipPlan, RetryPolicy, Router};
+
+    let n_compute = 8usize;
+    let n_staging = 3usize;
+    let n_steps = 4u64;
+    let rows = if quick { 256usize } else { 2048 };
+    let dir = std::env::temp_dir().join(format!("predata-churn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let ds_cfg = DsConfig::new(
+        vec![rows as u64, n_compute as u64],
+        vec![rows as u64 / 4, 1],
+        4,
+    );
+    let spaces: Vec<Arc<DataSpaces>> = (0..n_staging)
+        .map(|_| {
+            Arc::new(DataSpaces::with_faults(
+                ds_cfg.clone(),
+                None,
+                RetryPolicy::from_env(),
+            ))
+        })
+        .collect();
+    let (router, membership): (Arc<dyn Router>, Option<Arc<Membership>>) = if elastic {
+        let plan = MembershipPlan::parse("base=2,leave=1@2,join=2@2")
+            .unwrap()
+            .unwrap();
+        let m = Arc::new(Membership::from_plan(&plan).unwrap());
+        (
+            Arc::new(EpochRouter::new(n_compute, Arc::clone(&m))),
+            Some(m),
+        )
+    } else {
+        (Arc::new(BlockRouter::new(n_compute, n_staging)), None)
+    };
+    // Index handoff at the boundary: leaver posts its exported shards,
+    // the joiner republishes them (same orchestration the chaos test
+    // proves byte-identical).
+    type Board = (Mutex<HashMap<u64, Vec<ShardParcel>>>, Condvar);
+    let board: Arc<Board> = Arc::new((Mutex::new(HashMap::new()), Condvar::new()));
+    let hook_spaces = spaces.clone();
+    let n_shards = ds_cfg.n_shards;
+    let on_epoch: Arc<EpochHook> = Arc::new(move |epoch, rank| {
+        let (lock, cv) = &*board;
+        if epoch.left.contains(&rank) {
+            let all: Vec<usize> = (0..n_shards).collect();
+            let parcel = hook_spaces[rank].export_shards(&all);
+            lock.lock()
+                .unwrap()
+                .entry(epoch.version)
+                .or_default()
+                .push(parcel);
+            cv.notify_all();
+        }
+        let successor = epoch
+            .joined
+            .first()
+            .or_else(|| epoch.active.first())
+            .copied();
+        if successor == Some(rank) && !epoch.left.is_empty() {
+            let mut posted = lock.lock().unwrap();
+            while posted.get(&epoch.version).map_or(0, Vec::len) < epoch.left.len() {
+                posted = cv.wait(posted).unwrap();
+            }
+            for parcel in posted.remove(&epoch.version).unwrap() {
+                hook_spaces[rank].import_shards(parcel).unwrap();
+            }
+        }
+    });
+
+    let started = Instant::now();
+    let (_fabric, computes, stagings) = Fabric::with_faults(n_compute, n_staging, None, None);
+    let mut cfg = StagingConfig::new(n_compute, &dir);
+    cfg.membership = membership;
+    cfg.on_epoch = elastic.then_some(on_epoch);
+    let ops_spaces = spaces.clone();
+    let area = StagingArea::spawn(
+        stagings,
+        Arc::clone(&router),
+        Arc::new(move |rank| {
+            vec![
+                Box::new(HistogramOp::all_attrs(64)) as Box<dyn StreamOp>,
+                Box::new(SpaceIndexOp::local(Arc::clone(&ops_spaces[rank]), 5, "w")),
+            ]
+        }),
+        Arc::new(|_| Box::new(FifoPolicy::default()) as Box<dyn PullPolicy>),
+        cfg,
+        n_steps,
+    );
+    let clients: Vec<PredataClient> = computes
+        .into_iter()
+        .map(|e| PredataClient::new(e, Arc::clone(&router), vec![]))
+        .collect();
+    for step in 0..n_steps {
+        for (r, c) in clients.iter().enumerate() {
+            c.write_pg(make_particle_pg(r as u64, step, dump(r as u64, rows)))
+                .unwrap();
+        }
+    }
+    area.join().into_iter().for_each(|r| {
+        r.expect("staging rank survives churn");
+    });
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_dir_all(&dir).ok();
+    ms
+}
+
 fn run_trajectory(quick: bool) -> BTreeMap<String, Bench> {
     let mut out: BTreeMap<String, Bench> = BTreeMap::new();
     let mut put = |k: &str, value: f64, kind: &'static str, unit: &'static str| {
@@ -330,6 +449,39 @@ fn run_trajectory(quick: bool) -> BTreeMap<String, Bench> {
         let qps = query_service_scenario(quick, readers);
         put(&format!("query_service_qps_{readers}"), qps, "wall", "q/s");
     }
+
+    // --- wall + exact: the membership_churn scenario ---
+    eprintln!("trajectory: membership_churn (leave + join mid-run, index handoff)...");
+    let median = |mut t: Vec<f64>| {
+        t.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        t[t.len() / 2]
+    };
+    let handoff_before = counter("membership.handoff_blocks");
+    let churn_ms = median(
+        (0..iters)
+            .map(|_| membership_churn_run(quick, true))
+            .collect(),
+    );
+    let handoff = (counter("membership.handoff_blocks") - handoff_before) / (iters as u64).max(1);
+    let static_ms = median(
+        (0..iters)
+            .map(|_| membership_churn_run(quick, false))
+            .collect(),
+    );
+    put("membership_churn_run_ms", churn_ms, "wall", "ms");
+    put("membership_static_run_ms", static_ms, "wall", "ms");
+    put(
+        "membership_churn_overhead_x",
+        churn_ms / static_ms.max(1e-9),
+        "wall",
+        "x",
+    );
+    put(
+        "membership_handoff_blocks",
+        handoff as f64,
+        "exact",
+        "blocks",
+    );
 
     // --- model: the deterministic simhec figure numbers ---
     eprintln!("trajectory: simhec figure models...");

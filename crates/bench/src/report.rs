@@ -210,14 +210,22 @@ fn render_stage_summary(cells: &[StageCell], out: &mut String) {
 /// steps run in-compute — at a glance. Omitted entirely for a run that
 /// climbed no rungs.
 fn render_resilience(root: &Value, out: &mut String) -> Result<(), String> {
-    const LADDER: [(&str, &str); 7] = [
+    const LADDER: [(&str, &str); 15] = [
         ("transport.faults_injected", "faults injected"),
         ("transport.retries", "retries absorbed"),
         ("transport.retry_exhausted", "retries exhausted"),
         ("staging.truncated_chunks", "chunks truncated"),
+        ("staging.admission_triggers", "overload sheds triggered"),
+        ("staging.admission_deferred_ops", "operators deferred"),
         ("client.reclaimed_bytes", "bytes reclaimed"),
         ("client.fallback_steps", "in-compute fallback steps"),
         ("client.recoveries", "recoveries to staged writes"),
+        ("membership.joins", "staging ranks joined"),
+        ("membership.leaves", "staging ranks left"),
+        ("membership.evictions", "staging ranks evicted"),
+        ("membership.reroutes", "compute ranks re-routed"),
+        ("membership.handoff_blocks", "index blocks handed off"),
+        ("membership.handoff_bytes", "index bytes handed off"),
     ];
     let counters = require(root, "counters", "root")?
         .as_array()

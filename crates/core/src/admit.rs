@@ -1,0 +1,169 @@
+//! Overload admission control — degradation-ladder rung 4.
+//!
+//! Rungs 1–3 (retry, truncate, fall back to in-compute) react to
+//! *failures*. This rung reacts to *load*: when a staging rank is
+//! overloaded — its gathered chunk backlog for a step exceeds
+//! `queue_hwm`, or the simulation's prior-step blocked-in-output
+//! fraction exceeds `blocked` — the rank sheds work by **deferring**
+//! the named non-critical operators for that step instead of
+//! back-pressuring the simulation. A deferred operator still runs its
+//! collective phases (skipping them unilaterally would deadlock the
+//! other ranks), but its chunk mappers are replaced by no-ops, so the
+//! decode+map stage does none of its work and its step output is
+//! truncated — computed over no data — rather than late.
+//!
+//! Configured by `PREDATA_ADMIT` (see `docs/OPERATIONS.md`):
+//!
+//! ```text
+//! PREDATA_ADMIT=queue_hwm=64,defer=histogram+bitmap
+//! PREDATA_ADMIT=blocked=0.3,defer=space_index
+//! ```
+//!
+//! | field       | meaning                                               |
+//! |-------------|-------------------------------------------------------|
+//! | `queue_hwm` | shed when a step gathers more than this many chunks   |
+//! | `blocked`   | shed when the prior step's simulation blocked-fraction exceeds this (needs `PREDATA_LINEAGE`) |
+//! | `defer`     | `+`-separated [`crate::op::StreamOp::name`]s to shed  |
+//!
+//! At least one trigger (`queue_hwm` or `blocked`) is required; `defer`
+//! is required and non-empty — admission control that sheds nothing is
+//! a misconfiguration, not a plan. Empty spec, `0`, or `off` means no
+//! admission control. Sheds are visible as `staging.admission_triggers`
+//! / `staging.admission_deferred_ops` in the resilience view and in
+//! [`crate::staging::StepReport::deferred`].
+
+use std::sync::{Arc, OnceLock};
+
+/// Parsed `PREDATA_ADMIT` plan. See the module docs for grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmitControl {
+    /// Shed when a step's gathered chunk backlog exceeds this.
+    pub queue_hwm: Option<usize>,
+    /// Shed when the prior step's simulation blocked-fraction exceeds
+    /// this (`obs::perturb`; only populated under `PREDATA_LINEAGE`).
+    pub blocked: Option<f64>,
+    /// Operator names deferred while overloaded.
+    pub defer: Vec<String>,
+}
+
+impl AdmitControl {
+    /// Parse a `PREDATA_ADMIT` spec. `Ok(None)` means "no admission
+    /// control" (empty, `0`, or `off`); `Err` describes the malformed
+    /// field.
+    pub fn parse(spec: &str) -> Result<Option<AdmitControl>, String> {
+        let spec = spec.trim();
+        if matches!(spec, "" | "0" | "off" | "false") {
+            return Ok(None);
+        }
+        let mut queue_hwm = None;
+        let mut blocked = None;
+        let mut defer = Vec::new();
+        for field in spec.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("admit field `{field}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("admit field `{field}`: {e}");
+            match key {
+                "queue_hwm" => queue_hwm = Some(value.parse().map_err(|e| bad(&e))?),
+                "blocked" => blocked = Some(value.parse().map_err(|e| bad(&e))?),
+                "defer" => {
+                    defer = value
+                        .split('+')
+                        .map(str::trim)
+                        .filter(|n| !n.is_empty())
+                        .map(String::from)
+                        .collect();
+                }
+                _ => return Err(format!("unknown admit field `{key}`")),
+            }
+        }
+        if queue_hwm.is_none() && blocked.is_none() {
+            return Err("admission control needs a trigger: queue_hwm= or blocked=".into());
+        }
+        if defer.is_empty() {
+            return Err("admission control needs defer=op1+op2 (what to shed)".into());
+        }
+        Ok(Some(AdmitControl {
+            queue_hwm,
+            blocked,
+            defer,
+        }))
+    }
+
+    /// The process-wide plan from `PREDATA_ADMIT`, read once. A
+    /// malformed spec aborts loudly — silently ignored admission control
+    /// would fake surviving an overload test.
+    pub fn from_env() -> Option<Arc<AdmitControl>> {
+        static PLAN: OnceLock<Option<Arc<AdmitControl>>> = OnceLock::new();
+        PLAN.get_or_init(|| match std::env::var("PREDATA_ADMIT") {
+            Ok(spec) => AdmitControl::parse(&spec)
+                .unwrap_or_else(|e| panic!("PREDATA_ADMIT: {e}"))
+                .map(Arc::new),
+            Err(_) => None,
+        })
+        .clone()
+    }
+
+    /// Is a step with `backlog` gathered chunks and prior-step
+    /// simulation blocked-fraction `blocked` overloaded?
+    pub fn overloaded(&self, backlog: usize, blocked: Option<f64>) -> bool {
+        if self.queue_hwm.is_some_and(|hwm| backlog > hwm) {
+            return true;
+        }
+        match (self.blocked, blocked) {
+            (Some(threshold), Some(frac)) => frac > threshold,
+            _ => false,
+        }
+    }
+
+    /// Whether `op` is shed while overloaded.
+    pub fn defers(&self, op: &str) -> bool {
+        self.defer.iter().any(|d| d == op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar_and_off() {
+        for off in ["", "0", "off", "false", "  "] {
+            assert_eq!(AdmitControl::parse(off).unwrap(), None, "{off:?}");
+        }
+        let a = AdmitControl::parse("queue_hwm=64, blocked=0.3, defer=histogram+bitmap")
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.queue_hwm, Some(64));
+        assert_eq!(a.blocked, Some(0.3));
+        assert_eq!(a.defer, vec!["histogram", "bitmap"]);
+        assert!(a.defers("bitmap") && !a.defers("sort"));
+    }
+
+    #[test]
+    fn parse_rejects_triggerless_and_shedless_plans() {
+        assert!(AdmitControl::parse("defer=histogram").is_err());
+        assert!(AdmitControl::parse("queue_hwm=8").is_err());
+        assert!(AdmitControl::parse("queue_hwm=8,defer=").is_err());
+        assert!(AdmitControl::parse("hwm=8").is_err());
+        assert!(AdmitControl::parse("queue_hwm=lots,defer=x").is_err());
+    }
+
+    #[test]
+    fn overload_triggers() {
+        let a = AdmitControl::parse("queue_hwm=4,defer=x").unwrap().unwrap();
+        assert!(!a.overloaded(4, None), "at the mark is not over it");
+        assert!(a.overloaded(5, None));
+        assert!(
+            !a.overloaded(0, Some(0.9)),
+            "no blocked threshold configured"
+        );
+
+        let a = AdmitControl::parse("blocked=0.25,defer=x")
+            .unwrap()
+            .unwrap();
+        assert!(!a.overloaded(1000, None), "no backlog threshold, no stat");
+        assert!(!a.overloaded(0, Some(0.25)));
+        assert!(a.overloaded(0, Some(0.26)));
+    }
+}

@@ -85,6 +85,7 @@
 //! # std::fs::remove_dir_all(&out).ok();
 //! ```
 
+pub mod admit;
 pub mod agg;
 pub mod chunk;
 pub mod client;
@@ -95,10 +96,11 @@ pub mod resilient;
 pub mod schema;
 pub mod staging;
 
+pub use admit::AdmitControl;
 pub use agg::Aggregates;
 pub use chunk::PackedChunk;
 pub use client::PredataClient;
 pub use incompute::InComputeRunner;
 pub use op::{OpResult, StreamOp, Tagged};
 pub use resilient::{DegradePolicy, ResilientClient, StepOutcome};
-pub use staging::{StagingArea, StagingConfig, StepReport};
+pub use staging::{EpochHook, StagingArea, StagingConfig, StepReport};

@@ -2,7 +2,8 @@
 //! back to the In-Compute-Node placement when staging is unhealthy, and
 //! recover automatically once pulls succeed again.
 //!
-//! The ladder (DESIGN.md §3.3) has three rungs:
+//! The ladder (DESIGN.md §3.3); this module implements rung 3, rung 4
+//! (overload shedding, [`crate::admit`]) lives in the staging runtime:
 //!
 //! 1. **retry** — transient pull/receive faults are absorbed inside the
 //!    transport ([`transport::RetryPolicy`]); nothing changes here.

@@ -56,12 +56,14 @@ use transport::evq::{EventQueue, PollError};
 use ffs::AttrList;
 use minimpi::{Comm, World};
 use transport::{
-    FetchRequest, PullBatch, PullPolicy, RetryPolicy, Router, StagingEndpoint, TransportError,
+    Epoch, FetchRequest, Membership, MembershipPlan, PullBatch, PullPolicy, RetryPolicy, Router,
+    StagingEndpoint, TransportError,
 };
 
+use crate::admit::AdmitControl;
 use crate::agg::Aggregates;
 use crate::chunk::{ChunkError, PackedChunk};
-use crate::op::{complete_pipeline_traced, ChunkMapper, OpCtx, OpResult, StreamOp, Tagged};
+use crate::op::{complete_pipeline_traced, ChunkMapper, MapCtx, OpCtx, OpResult, StreamOp, Tagged};
 
 /// Mark every chunk of an abandoned step explicitly truncated, so a
 /// failed/timed-out step leaves terminal lineage records rather than
@@ -199,6 +201,13 @@ enum SlotOutcome {
     },
 }
 
+/// Callback at a membership epoch boundary: `(epoch, my_rank)`, invoked
+/// on every staging rank at the first step of the new epoch, between
+/// two staging-wide barriers. Index handoff rides on this — a leaving
+/// rank exports its committed shards, the successor republishes them —
+/// with whatever shared state the hook closes over.
+pub type EpochHook = dyn Fn(&Epoch, usize) + Send + Sync;
+
 /// Static configuration of the staging area.
 #[derive(Clone)]
 pub struct StagingConfig {
@@ -215,6 +224,16 @@ pub struct StagingConfig {
     /// keeps one `rdma_get` per chunk. Batching changes when bytes
     /// move, never what moves — outputs stay byte-identical.
     pub pull_batch: Option<PullBatch>,
+    /// Elastic membership schedule (`PREDATA_MEMBERSHIP`); `None` means
+    /// every rank serves every step. Ranks outside the step's epoch stay
+    /// in the collectives (they must — the world is one communicator)
+    /// but serve no compute ranks and pull nothing.
+    pub membership: Option<Arc<Membership>>,
+    /// Invoked at each epoch boundary (index handoff; see [`EpochHook`]).
+    pub on_epoch: Option<Arc<EpochHook>>,
+    /// Overload admission control (`PREDATA_ADMIT`) — degradation-ladder
+    /// rung 4; `None` never sheds.
+    pub admit: Option<Arc<AdmitControl>>,
 }
 
 impl StagingConfig {
@@ -225,6 +244,13 @@ impl StagingConfig {
             gather_timeout: Duration::from_secs(30),
             retry: RetryPolicy::from_env(),
             pull_batch: PullBatch::from_env(),
+            membership: MembershipPlan::from_env().map(|p| {
+                Arc::new(
+                    Membership::from_plan(&p).unwrap_or_else(|e| panic!("PREDATA_MEMBERSHIP: {e}")),
+                )
+            }),
+            on_epoch: None,
+            admit: AdmitControl::from_env(),
         }
     }
 }
@@ -243,14 +269,21 @@ pub struct StepReport {
     /// exhaustion: the step's outputs exclude them (and say so in
     /// lineage). Empty on a healthy step.
     pub truncated: Vec<usize>,
+    /// Operators shed by admission control this step (ladder rung 4):
+    /// their mappers ran as no-ops, so their outputs cover no data.
+    pub deferred: Vec<String>,
+    /// Membership epoch version this step ran under (`None` without a
+    /// membership schedule).
+    pub epoch: Option<u64>,
     /// Per-operator results.
     pub results: Vec<OpResult>,
 }
 
 impl StepReport {
-    /// Whether this step ran degraded (some chunks truncated).
+    /// Whether this step ran degraded (chunks truncated or operators
+    /// shed by admission control).
     pub fn is_degraded(&self) -> bool {
-        !self.truncated.is_empty()
+        !self.truncated.is_empty() || !self.deferred.is_empty()
     }
 }
 
@@ -273,7 +306,7 @@ impl StagingRank {
     /// be created — a misconfigured path must surface at startup, not as
     /// mysterious per-step write failures later.
     pub fn new(
-        comm: Comm,
+        mut comm: Comm,
         endpoint: StagingEndpoint,
         router: Arc<dyn Router>,
         policy: Box<dyn PullPolicy>,
@@ -281,6 +314,25 @@ impl StagingRank {
         cfg: StagingConfig,
     ) -> Result<Self, StagingError> {
         std::fs::create_dir_all(&cfg.out_dir)?;
+        // An attached fault plan covers the staging-wide collectives
+        // too: every collective entry consults `FaultKind::Collective`
+        // under the ambient retry policy. Injection happens only at
+        // entry, before any message moves, and exhaustion *proceeds
+        // anyway* — a rank unilaterally abandoning a collective would
+        // deadlock its peers; the exhaustion is still counted
+        // (`transport.retry_exhausted{op=collective}`) for the ladder.
+        if let Some(plan) = endpoint.fault_plan() {
+            let plan = Arc::clone(plan);
+            let retry = cfg.retry.clone();
+            comm.set_collective_gate(Arc::new(move |_op, rank, seq| {
+                let _ = retry.run("collective", (rank << 32) ^ seq, |_| {
+                    match plan.inject_collective(rank, seq) {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                });
+            }));
+        }
         Ok(StagingRank {
             comm,
             endpoint,
@@ -296,8 +348,48 @@ impl StagingRank {
         self.comm.rank()
     }
 
+    /// Membership bookkeeping at the top of a step. When a new epoch
+    /// opens at `step`, every rank synchronizes, the epoch hook runs
+    /// (index handoff), and only then does anyone serve the new epoch —
+    /// in-flight pulls of earlier steps already completed against the
+    /// old owners, and this step's requests route to the new ones.
+    /// Returns the epoch version the step runs under.
+    fn enter_epoch(&self, step: u64) -> Option<u64> {
+        let membership = self.cfg.membership.as_ref()?;
+        if let Some(opening) = membership.epoch_opening_at(step) {
+            // Barrier-bracketed: the handoff must not race the old
+            // epoch's tail nor the new epoch's first gather.
+            self.comm.barrier();
+            if let Some(hook) = &self.cfg.on_epoch {
+                hook(opening, self.comm.rank());
+            }
+            self.comm.barrier();
+            let reg = obs::global();
+            reg.gauge("membership.epoch", &[])
+                .set(opening.version as i64);
+            if self.comm.rank() == 0 {
+                reg.counter("membership.joins", &[])
+                    .add(opening.joined.len() as u64);
+                reg.counter("membership.leaves", &[])
+                    .add(opening.left.len() as u64);
+                reg.counter("membership.evictions", &[])
+                    .add(opening.evicted.len() as u64);
+                // Compute ranks whose owner changed across the boundary:
+                // their chunks re-route from this step on.
+                let moved = (0..self.cfg.n_compute)
+                    .filter(|&c| {
+                        self.router.route(c, step) != self.router.route(c, step.saturating_sub(1))
+                    })
+                    .count();
+                reg.counter("membership.reroutes", &[]).add(moved as u64);
+            }
+        }
+        Some(membership.epoch_at(step).version)
+    }
+
     /// Process one I/O step end to end.
     pub fn run_step(&mut self, step: u64) -> Result<StepReport, StagingError> {
+        let epoch = self.enter_epoch(step);
         let served = self
             .router
             .served_by(self.comm.rank(), self.cfg.n_compute, step);
@@ -344,6 +436,44 @@ impl StagingRank {
         }
         drop(gather_span);
 
+        // --- Overload admission control (degradation-ladder rung 4) ---
+        //
+        // Backlog for the step is known the moment the gather closes;
+        // the prior step's simulation blocked-fraction comes from the
+        // perturbation monitor (populated under `PREDATA_LINEAGE`).
+        // Overload sheds the configured non-critical operators for this
+        // step: their mappers become no-ops (the decode+map stage does
+        // none of their work) while their collective phases still run,
+        // so an asymmetrically-loaded area never deadlocks. Outputs of
+        // shed operators are truncated — computed over no data — rather
+        // than back-pressuring the simulation.
+        let mut deferred: Vec<String> = Vec::new();
+        if let Some(admit) = &self.cfg.admit {
+            let prior_blocked = step.checked_sub(1).and_then(|prev| {
+                obs::global()
+                    .perturb()
+                    .snapshot()
+                    .iter()
+                    .find(|(s, _)| *s == prev)
+                    .and_then(|(_, stat)| stat.blocked_fraction())
+            });
+            if admit.overloaded(pending.len(), prior_blocked) {
+                deferred = self
+                    .ops
+                    .iter()
+                    .map(|op| op.name())
+                    .filter(|n| admit.defers(n))
+                    .map(String::from)
+                    .collect();
+                if !deferred.is_empty() {
+                    let reg = obs::global();
+                    reg.counter("staging.admission_triggers", &[]).inc();
+                    reg.counter("staging.admission_deferred_ops", &[])
+                        .add(deferred.len() as u64);
+                }
+            }
+        }
+
         // --- Stage 2b: aggregate attached partial results globally ---
         let agg_span = obs::span!("aggregate", step);
         let local: Vec<(usize, AttrList)> = pending
@@ -380,8 +510,25 @@ impl StagingRank {
         let mut decode_err: Option<StagingError> = None;
         if n_chunks > 0 {
             // Map state frozen by `initialize`, shareable across workers.
-            let mappers: Vec<Arc<dyn ChunkMapper>> =
-                self.ops.iter().map(|op| op.mapper()).collect();
+            // Operators shed by admission control get a no-op mapper:
+            // the work stays unmapped, not queued for later.
+            struct ShedMapper;
+            impl ChunkMapper for ShedMapper {
+                fn map_chunk(&self, _chunk: &PackedChunk, _ctx: &MapCtx) -> Vec<Tagged> {
+                    Vec::new()
+                }
+            }
+            let mappers: Vec<Arc<dyn ChunkMapper>> = self
+                .ops
+                .iter()
+                .map(|op| {
+                    if deferred.iter().any(|d| d == op.name()) {
+                        Arc::new(ShedMapper) as Arc<dyn ChunkMapper>
+                    } else {
+                        op.mapper()
+                    }
+                })
+                .collect();
             let map_ctx = ctx.map_ctx();
             let n_workers = map_workers().min(n_chunks);
             // slots[i] belongs to pending[i]; filled in completion order,
@@ -403,15 +550,17 @@ impl StagingRank {
                 let (cancelled, mappers, pending) = (&cancelled, &mappers, &pending);
                 // Puller: RDMA gets, serially, in policy order and pacing.
                 // A `PREDATA_PULL_BATCH` threshold coalesces runs of
-                // small consecutive pulls into one fabric transaction;
-                // an attached fault schedule disables coalescing so
-                // injection bookkeeping stays exactly per-pull (see
-                // `transport::batch`).
-                let batch = self
-                    .cfg
-                    .pull_batch
-                    .as_ref()
-                    .filter(|_| self.endpoint.fault_plan().is_none());
+                // small consecutive pulls into one fabric transaction.
+                // Coalescing is bypassed only when an attached fault
+                // schedule actually covers *this step's pulls* — inside
+                // the fault window injection bookkeeping must stay
+                // exactly per-pull (see `transport::batch`); outside it
+                // batching proceeds as on a healthy run.
+                let batch = self.cfg.pull_batch.as_ref().filter(|_| {
+                    self.endpoint
+                        .fault_plan()
+                        .is_none_or(|p| !p.covers_pulls(step))
+                });
                 scope.spawn(move || {
                     // One individually-retried pull. Pulls retry under
                     // the *step's* remaining deadline budget: transient
@@ -701,6 +850,8 @@ impl StagingRank {
             bytes_pulled,
             pull_order,
             truncated,
+            deferred,
+            epoch,
             results,
         })
     }

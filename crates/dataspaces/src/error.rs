@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use transport::TransportError;
+
 /// DataSpaces failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DsError {
@@ -26,8 +28,17 @@ pub enum DsError {
     QueueFull,
     /// The query service is shut down.
     ServiceClosed,
-    /// An injected transport fault exhausted the service's retry budget.
-    Faulted { query: u64 },
+    /// An injected transport fault exhausted the query service's retry
+    /// budget. Carries the transport cause so `Error::source()` chains
+    /// instead of dropping it.
+    Faulted { query: u64, cause: TransportError },
+    /// An injected transport fault exhausted a `put`/`put_ref`'s retry
+    /// budget. Like `Faulted`, the cause chains through `source()`.
+    PutFaulted {
+        var: String,
+        version: u64,
+        cause: TransportError,
+    },
 }
 
 impl fmt::Display for DsError {
@@ -58,11 +69,49 @@ impl fmt::Display for DsError {
             }
             DsError::QueueFull => write!(f, "query admission queue is full"),
             DsError::ServiceClosed => write!(f, "query service is shut down"),
-            DsError::Faulted { query } => {
+            DsError::Faulted { query, .. } => {
                 write!(f, "query {query} failed: injected fault exhausted retries")
+            }
+            DsError::PutFaulted { var, version, .. } => {
+                write!(
+                    f,
+                    "put of `{var}` version {version} failed: injected fault exhausted retries"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for DsError {}
+impl std::error::Error for DsError {
+    /// Fault errors chain to their transport cause (the PR 5 convention
+    /// for Staging/Client/Chunk errors); everything else is a root.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsError::Faulted { cause, .. } | DsError::PutFaulted { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn fault_errors_chain_their_transport_cause() {
+        let e = DsError::Faulted {
+            query: 7,
+            cause: TransportError::Timeout,
+        };
+        let src = e.source().expect("query fault chains");
+        assert_eq!(src.to_string(), TransportError::Timeout.to_string());
+        let e = DsError::PutFaulted {
+            var: "field".into(),
+            version: 2,
+            cause: TransportError::Timeout,
+        };
+        assert!(e.source().is_some(), "put fault chains");
+        assert!(DsError::QueueFull.source().is_none(), "roots do not");
+    }
+}

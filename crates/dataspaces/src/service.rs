@@ -521,7 +521,10 @@ fn execute(inner: &Arc<Inner>, job: &QueryJob) -> Result<QueryOutput, DsError> {
                     None => Ok(()),
                 }
             })
-            .map_err(|_| DsError::Faulted { query: job.id })?;
+            .map_err(|cause| DsError::Faulted {
+                query: job.id,
+                cause,
+            })?;
     }
     let now = Instant::now();
     if now >= job.deadline {

@@ -31,6 +31,7 @@ impl Comm {
     /// ignored elsewhere.
     pub fn bcast<T: MpiData + Clone>(&self, root: usize, value: Option<T>) -> T {
         self.world().stats().record_collective();
+        self.gate_collective("bcast");
         if self.rank() == root {
             let v = value.expect("bcast: root must supply a value");
             for r in 0..self.size() {
@@ -51,6 +52,7 @@ impl Comm {
         F: Fn(T, T) -> T,
     {
         self.world().stats().record_collective();
+        self.gate_collective("reduce");
         if self.rank() == root {
             let mut acc = value;
             // Deterministic order: fold ranks 0..size skipping root, so
@@ -81,6 +83,7 @@ impl Comm {
     /// Gather per-rank values to `root`, ordered by rank.
     pub fn gather<T: MpiData + Clone>(&self, root: usize, value: T) -> Option<Vec<T>> {
         self.world().stats().record_collective();
+        self.gate_collective("gather");
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
@@ -105,6 +108,7 @@ impl Comm {
     pub fn allgather<T: MpiData + Clone>(&self, value: T) -> Vec<T> {
         let gathered = self.gather(0, value);
         self.world().stats().record_collective();
+        self.gate_collective("allgather");
         if self.rank() == 0 {
             let v = gathered.expect("rank 0 gathered");
             let bytes = v.iter().map(MpiData::byte_len).sum();
@@ -121,6 +125,7 @@ impl Comm {
     /// Distribute one element of `values` (significant on root) to each rank.
     pub fn scatter<T: MpiData + Clone>(&self, root: usize, values: Option<Vec<T>>) -> T {
         self.world().stats().record_collective();
+        self.gate_collective("scatter");
         if self.rank() == root {
             let values = values.expect("scatter: root must supply values");
             assert_eq!(
@@ -151,6 +156,7 @@ impl Comm {
             "alltoall: need one value per rank"
         );
         self.world().stats().record_collective();
+        self.gate_collective("alltoall");
         let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
         for (r, v) in values.into_iter().enumerate() {
             if r == self.rank() {
@@ -183,6 +189,7 @@ impl Comm {
         F: Fn(T, T) -> T,
     {
         self.world().stats().record_collective();
+        self.gate_collective("scan");
         // Linear chain: rank i-1 forwards its inclusive prefix to rank i.
         let acc = if self.rank() == 0 {
             value
@@ -205,6 +212,7 @@ impl Comm {
         F: Fn(T, T) -> T,
     {
         self.world().stats().record_collective();
+        self.gate_collective("exscan");
         let inclusive_prev = if self.rank() == 0 {
             identity.clone()
         } else {
@@ -323,6 +331,59 @@ mod tests {
             sub.allreduce(c.rank() as u64, |a, b| a + b)
         });
         assert_eq!(out, vec![3, 3, 3, 12, 12, 12]);
+    }
+
+    #[test]
+    fn collective_gate_fires_before_messages_and_survives_split() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let entries = Arc::new(AtomicU64::new(0));
+        let counted = Arc::clone(&entries);
+        let out = World::run(4, move |mut c| {
+            let counted = Arc::clone(&counted);
+            c.set_collective_gate(Arc::new(move |_op, _rank, _seq| {
+                counted.fetch_add(1, Ordering::Relaxed);
+            }));
+            let s = c.allreduce(1u64, |a, b| a + b); // reduce + bcast: 2 entries
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as u64);
+            let sub_sum = sub.allreduce(1u64, |a, b| a + b);
+            (s, sub_sum)
+        });
+        for (s, sub_sum) in out {
+            assert_eq!(s, 4);
+            assert_eq!(sub_sum, 2);
+        }
+        // 4 ranks × (allreduce 2 + split's allgather 2 + sub allreduce 2)
+        // = 24 entries; the gate observed every collective entry,
+        // including on the split sub-communicator.
+        assert_eq!(entries.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn gate_sequence_numbers_are_deterministic_per_rank() {
+        use std::sync::{Arc, Mutex};
+        let run = || {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&log);
+            World::run(2, move |mut c| {
+                let sink = Arc::clone(&sink);
+                c.set_collective_gate(Arc::new(move |op, rank, seq| {
+                    sink.lock().unwrap().push((op, rank, seq));
+                }));
+                c.allreduce(c.rank() as u64, |a, b| a + b);
+                c.allgather(c.rank() as u64);
+            });
+            let mut entries = log.lock().unwrap().clone();
+            entries.sort_unstable();
+            entries
+        };
+        let a = run();
+        assert_eq!(a, run(), "same program, same gate schedule");
+        // Per rank: reduce(0) bcast(1) gather(2) allgather(3).
+        for rank in 0..2u64 {
+            let seqs: Vec<_> = a.iter().filter(|e| e.1 == rank).map(|e| e.2).collect();
+            assert_eq!(seqs.len(), 4);
+        }
     }
 
     #[test]

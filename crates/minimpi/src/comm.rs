@@ -1,5 +1,6 @@
 //! Communicators and point-to-point operations.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,6 +29,16 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// A hook invoked at the entry of every data-moving collective
+/// (bcast/reduce/gather/scatter/alltoall/scan/…), *before* the first
+/// message moves, with `(op, comm_rank, collective_seq)`. The
+/// fault-injection layer installs one to exercise collective retries
+/// without this crate depending on the transport: the gate may sleep
+/// or count, but it always returns — a collective, once entered, runs
+/// to completion, because abandoning it unilaterally would deadlock
+/// every peer.
+pub type CollectiveGate = dyn Fn(&'static str, u64, u64) + Send + Sync;
+
 /// A rank's handle within one communicator: its rank, the member list
 /// (communicator rank → world rank), and a subset barrier.
 ///
@@ -39,6 +50,11 @@ pub struct Comm {
     rank: usize,
     members: Arc<[usize]>,
     barrier: Arc<SubsetBarrier>,
+    /// Optional per-rank collective-entry hook; see [`CollectiveGate`].
+    gate: Option<Arc<CollectiveGate>>,
+    /// Collectives this rank has entered on this communicator — the
+    /// deterministic sequence number handed to the gate.
+    coll_seq: AtomicU64,
 }
 
 impl Comm {
@@ -54,6 +70,24 @@ impl Comm {
             rank,
             members,
             barrier,
+            gate: None,
+            coll_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Install a [`CollectiveGate`] invoked at every data-moving
+    /// collective's entry on this rank. `split` propagates the gate to
+    /// sub-communicators (with a fresh sequence counter, so schedules
+    /// stay deterministic per communicator).
+    pub fn set_collective_gate(&mut self, gate: Arc<CollectiveGate>) {
+        self.gate = Some(gate);
+    }
+
+    /// Run the installed gate, if any, for one collective entry.
+    pub(crate) fn gate_collective(&self, op: &'static str) {
+        if let Some(gate) = &self.gate {
+            let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+            gate(op, self.rank as u64, seq);
         }
     }
 
@@ -216,6 +250,8 @@ impl Comm {
             rank: my_new_rank,
             members,
             barrier,
+            gate: self.gate.clone(),
+            coll_seq: AtomicU64::new(0),
         }
     }
 }

@@ -37,7 +37,7 @@ mod envelope;
 mod stats;
 mod world;
 
-pub use comm::{Comm, RecvError};
+pub use comm::{CollectiveGate, Comm, RecvError};
 pub use data::{MpiData, MpiScalar};
 pub use stats::TrafficStats;
 pub use world::World;

@@ -26,7 +26,10 @@
 //! `PREDATA_RETRY`. Batching changes *when* bytes move, never *what*
 //! moves: a batched step's outputs are byte-identical to an unbatched
 //! one's. When a fault schedule (`PREDATA_FAULTS`) is attached, pullers
-//! bypass coalescing so injection bookkeeping stays exactly per-pull.
+//! bypass coalescing only for steps the schedule actually covers
+//! ([`covers_pulls`](crate::FaultPlan::covers_pulls)) — inside the
+//! fault window injection bookkeeping must stay exactly per-pull;
+//! outside it batching proceeds as on a healthy run.
 //!
 //! # Example
 //!

@@ -28,7 +28,11 @@
 //! unit tests of the fabric protocol are unaffected by an ambient
 //! `PREDATA_FAULTS`. *Pin* faults are consulted inside
 //! [`ComputeEndpoint::expose`], because the client's error path is what
-//! they exist to exercise.
+//! they exist to exercise. *Put* faults are consulted by the retrying
+//! DataSpaces put path before the index is touched, and *collective*
+//! faults at the entry of minimpi shuffle/gather/reduce collectives,
+//! before any message moves — in both cases the underlying primitive
+//! stays exact.
 //!
 //! [`StagingEndpoint::rdma_get`]: crate::StagingEndpoint::rdma_get
 //! [`ComputeEndpoint::expose`]: crate::ComputeEndpoint::expose
@@ -43,7 +47,7 @@
 //! | key | meaning | default |
 //! |---|---|---|
 //! | `seed` | hash seed for chunk selection and retry jitter | `0` |
-//! | `drop` | P(pull attempt fails with `Timeout`, exposure kept); also P(query-service attempt faults, independently keyed) | `0` |
+//! | `drop` | P(pull attempt fails with `Timeout`, exposure kept); also P(query-service / DataSpaces-put / collective-entry attempt faults — each independently salted and keyed, so enabling one never perturbs another's schedule) | `0` |
 //! | `stale` | P(pull attempt fails with `StaleHandle`, exposure kept) | `0` |
 //! | `delay_ms` | sleep injected before selected pulls | `0` |
 //! | `delay` | P(pull is delayed by `delay_ms`) | `1` if `delay_ms` set |
@@ -97,6 +101,19 @@ pub enum FaultKind {
     /// `drop` probability as pull faults but salts and counts
     /// independently, so enabling it never perturbs the pull schedule.
     Query,
+    /// A DataSpaces `put`/`put_ref` attempt fails with
+    /// [`TransportError::Timeout`] before touching the index. Rides the
+    /// `drop` probability with an independent salt, keyed on
+    /// `(var_id, version)`.
+    Put,
+    /// A collective entry (shuffle/gather/reduce) fails with
+    /// [`TransportError::Timeout`] before any message moves. Rides the
+    /// `drop` probability with an independent salt, keyed on
+    /// `(rank, collective sequence number)`. Injection happens strictly
+    /// *before* the first send/recv of the collective, so a retried —
+    /// or even exhausted — attempt can still complete the collective
+    /// without deadlocking peers.
+    Collective,
 }
 
 impl FaultKind {
@@ -107,6 +124,8 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Pin => "pin",
             FaultKind::Query => "query",
+            FaultKind::Put => "put",
+            FaultKind::Collective => "collective",
         }
     }
 
@@ -117,6 +136,8 @@ impl FaultKind {
             FaultKind::Delay => 0xDE1A,
             FaultKind::Pin => 0x0919,
             FaultKind::Query => 0x9E4A,
+            FaultKind::Put => 0x9407,
+            FaultKind::Collective => 0xC011,
         }
     }
 }
@@ -279,7 +300,7 @@ impl FaultPlan {
             FaultKind::Stale => self.stale_p,
             FaultKind::Delay => self.delay_p,
             FaultKind::Pin => self.pin_p,
-            FaultKind::Query => self.drop_p,
+            FaultKind::Query | FaultKind::Put | FaultKind::Collective => self.drop_p,
         };
         if p <= 0.0 {
             return false;
@@ -351,6 +372,45 @@ impl FaultPlan {
             return Some(TransportError::Timeout);
         }
         None
+    }
+
+    /// Consult the plan before one DataSpaces `put`/`put_ref` attempt
+    /// of variable `var_id` at dump `version`. Keyed on
+    /// `(Put, var_id, version)` — disjoint from every other fault key —
+    /// so a spec that drops pulls exercises the put path without
+    /// coupling the two schedules. A faulted attempt fails with
+    /// `Timeout` before the index is touched, so a retry is exact.
+    pub fn inject_put(&self, var_id: u64, version: u64) -> Option<TransportError> {
+        if self.try_inject(FaultKind::Put, var_id, version) {
+            return Some(TransportError::Timeout);
+        }
+        None
+    }
+
+    /// Consult the plan before rank `rank` enters its `seq`-th
+    /// collective (shuffle/gather/reduce). Keyed on
+    /// `(Collective, rank, seq)`. The caller injects strictly before
+    /// the collective's first message and, on retry exhaustion,
+    /// proceeds with the collective anyway — abandoning a collective
+    /// unilaterally would deadlock every peer.
+    pub fn inject_collective(&self, rank: u64, seq: u64) -> Option<TransportError> {
+        if self.try_inject(FaultKind::Collective, rank, seq) {
+            return Some(TransportError::Timeout);
+        }
+        None
+    }
+
+    /// Whether the plan can fault *pulls* of `step` at all: some pull
+    /// probability is non-zero and `step` is inside the plan's window.
+    /// The staging puller consults this to bypass pull coalescing only
+    /// for steps a fault could actually hit, so unaffected steps keep
+    /// batching (injection bookkeeping stays exactly per-pull wherever
+    /// it matters).
+    pub fn covers_pulls(&self, step: u64) -> bool {
+        if self.drop_p <= 0.0 && self.stale_p <= 0.0 && self.delay_p <= 0.0 {
+            return false;
+        }
+        self.steps.as_ref().is_none_or(|r| r.contains(&step))
     }
 
     /// Consult the plan before one `expose` of `requested` bytes by
@@ -459,6 +519,40 @@ mod tests {
         assert!(plan.inject_pull(0, 2, h).is_some());
         assert!(plan.inject_pull(0, 3, h).is_some());
         assert!(plan.inject_pull(0, 4, h).is_none());
+    }
+
+    #[test]
+    fn put_and_collective_ride_drop_with_independent_schedules() {
+        let plan = FaultPlan::new(3).drop_chunks(1.0).max_injections(1);
+        assert_eq!(plan.inject_put(4, 1), Some(TransportError::Timeout));
+        assert!(plan.inject_put(4, 1).is_none(), "transient: retry clean");
+        assert_eq!(plan.inject_collective(0, 7), Some(TransportError::Timeout));
+        assert!(plan.inject_collective(0, 7).is_none());
+        // Keys are disjoint: the pull key (4, 1) is still uninjected.
+        let h = MemHandle::test_only(1);
+        assert!(plan.inject_pull(4, 1, h).is_some());
+
+        // At p < 1 the three kinds select from independent schedules.
+        let plan = FaultPlan::new(11).drop_chunks(0.5);
+        let diverges = (0..200u64).any(|i| {
+            plan.selects(FaultKind::Drop, i, 0) != plan.selects(FaultKind::Put, i, 0)
+                || plan.selects(FaultKind::Drop, i, 0) != plan.selects(FaultKind::Collective, i, 0)
+        });
+        assert!(diverges, "independent salts give independent schedules");
+    }
+
+    #[test]
+    fn covers_pulls_tracks_probabilities_and_window() {
+        let plan = FaultPlan::new(0).drop_chunks(1.0).steps(2..4);
+        assert!(!plan.covers_pulls(1));
+        assert!(plan.covers_pulls(2));
+        assert!(plan.covers_pulls(3));
+        assert!(!plan.covers_pulls(4));
+        let unwindowed = FaultPlan::new(0).stale_handles(0.5);
+        assert!(unwindowed.covers_pulls(0));
+        // A pin- or put-only plan never faults pulls.
+        let pin_only = FaultPlan::new(0).pin_exhaustion(1.0);
+        assert!(!pin_only.covers_pulls(0));
     }
 
     #[test]
