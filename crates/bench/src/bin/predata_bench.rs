@@ -10,6 +10,8 @@
 //! hammering a committed dump version while a writer keeps staging fresh
 //! ones), the `membership_churn` scenario (a staging rank leaves and
 //! another joins mid-run, with index handoff at the epoch boundary),
+//! the `obs_live_overhead` scenario (the same staging step with the
+//! live telemetry plane off vs on — the <3% cost guard for PR 9),
 //! plus the deterministic simhec figure models, and emits a
 //! schema-stable `BENCH_<pr>.json` — the checked-in perf trajectory that
 //! later PRs compare themselves against.
@@ -45,7 +47,7 @@ use simhec::{MachineConfig, StagedRun};
 use transport::{BlockRouter, Fabric, FifoPolicy, PullBatch, PullPolicy, Router};
 
 const SCHEMA: &str = "predata-bench-trajectory/v1";
-const PR: u64 = 8;
+const PR: u64 = 9;
 
 /// One recorded number: value, kind (`wall`/`exact`/`model`), unit.
 struct Bench {
@@ -438,6 +440,47 @@ fn run_trajectory(quick: bool) -> BTreeMap<String, Bench> {
     put(
         "small_chunk_batch_speedup",
         small_ms / batched_ms.max(1e-9),
+        "wall",
+        "x",
+    );
+
+    // --- wall: the obs_live_overhead scenario ---
+    // The zero-overhead-when-disabled / <3%-when-enabled contract of the
+    // live telemetry plane (DESIGN.md §3.6): the same many-small-chunks
+    // step, with the plane programmatically off and then on at the
+    // default window. Single-rank, so the per-step frame exchange is a
+    // 1-rank allgather — the sampling + ingest cost without collective
+    // noise.
+    eprintln!("trajectory: obs_live_overhead (live plane off vs on)...");
+    let live_sc = Scenario {
+        n_chunks: small_chunks,
+        rows_per_chunk: small_rows,
+        batch: None,
+    };
+    // Reconfigure before every iteration: each run replays step 0, and a
+    // stale plane would skip its sample/ingest on the replays (the
+    // per-step idempotence guards), under-measuring the enabled cost.
+    let measure_live = |on: bool| -> f64 {
+        let mut times: Vec<f64> = (0..iters)
+            .map(|_| {
+                obs::live::configure(on.then(obs::live::LiveConfig::default), None);
+                let (_fabric, mut rank) = staged_step(&dir, &live_sc);
+                let started = Instant::now();
+                rank.run_step(0).expect("step succeeds");
+                started.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times[times.len() / 2]
+    };
+    let live_off_ms = measure_live(false);
+    let live_on_ms = measure_live(true);
+    obs::live::configure(None, None);
+    put("obs_live_disabled_ms", live_off_ms, "wall", "ms");
+    put("obs_live_enabled_ms", live_on_ms, "wall", "ms");
+    put(
+        "obs_live_overhead_x",
+        live_on_ms / live_off_ms.max(1e-9),
         "wall",
         "x",
     );

@@ -1,14 +1,19 @@
 //! Rendering of `obs` JSON snapshots into paper-style timing tables.
 //!
 //! The input is the schema produced by [`obs::Snapshot::to_json`]
-//! (version 2, with version-1 files still accepted — the exporter's
+//! (version 3, with version-2 files still accepted — the exporter's
 //! versioning policy is additive sections, readers take N and N−1):
 //! counters, gauges, log₂ histograms, per-step span aggregates, and —
 //! when the run had `PREDATA_LINEAGE` on — per-chunk lineage records
-//! and per-step perturbation stats. The output mirrors the
-//! stage-breakdown tables of the paper's Fig. 7–9, plus a per-chunk
-//! critical-path view, a straggler table, and the paper §5-style
-//! perturbation summary.
+//! and per-step perturbation stats; version 3 adds the `live`/`health`
+//! sections from the `PREDATA_LIVE` telemetry plane. The output mirrors
+//! the stage-breakdown tables of the paper's Fig. 7–9, plus a per-chunk
+//! critical-path view, a straggler table, the paper §5-style
+//! perturbation summary, and the live-window health view.
+//!
+//! [`render_live_stream_str`] additionally renders the *rolling JSONL
+//! stream* (`PREDATA_LIVE_PATH`) as a per-step dashboard — the
+//! `predata-report live` subcommand a user tails mid-run.
 //!
 //! Used by the `predata-report` binary and by the schema-drift smoke
 //! test, so any change to the exporter's JSON shape fails the build
@@ -68,6 +73,18 @@ fn require_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
     require(v, key, ctx)?
         .as_u64()
         .ok_or_else(|| format!("snapshot {ctx}: `{key}` is not a u64"))
+}
+
+fn require_f64(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    require(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("snapshot {ctx}: `{key}` is not a number"))
+}
+
+fn require_str<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v str, String> {
+    require(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("snapshot {ctx}: `{key}` is not a string"))
 }
 
 /// One `(stage, step)` span aggregate pulled out of the `steps` section.
@@ -499,7 +516,7 @@ fn render_stragglers(chunks: &[LineageChunk], k: usize, out: &mut String) {
 fn render_perturb(root: &Value, out: &mut String) -> Result<(), String> {
     out.push_str("\n=== per-step perturbation ===\n");
     let Some(section) = root.get("perturb") else {
-        out.push_str("(version 1 snapshot — no perturbation section)\n");
+        out.push_str("(no perturbation section)\n");
         return Ok(());
     };
     let rows = section
@@ -540,6 +557,215 @@ fn render_perturb(root: &Value, out: &mut String) -> Result<(), String> {
     Ok(())
 }
 
+/// Live-window view (v3 `live` section): the latest value and window
+/// extent of every sampled series, plus the most recent cluster frame.
+fn render_live(root: &Value, out: &mut String) -> Result<(), String> {
+    out.push_str("\n=== live telemetry (windowed) ===\n");
+    let Some(section) = root.get("live") else {
+        out.push_str("(version 2 snapshot — no live section)\n");
+        return Ok(());
+    };
+    let window = require_u64(section, "window", "live")?;
+    if window == 0 {
+        out.push_str("(live plane disabled — run with PREDATA_LIVE=1)\n");
+        return Ok(());
+    }
+    let period = require_u64(section, "period_steps", "live")?;
+    out.push_str(&format!(
+        "window {window} step(s), frame exchange every {period} step(s)\n"
+    ));
+    let series = require(section, "series", "live")?
+        .as_array()
+        .ok_or("snapshot live: `series` is not an array")?;
+    if !series.is_empty() {
+        out.push_str(&format!(
+            "{:<36} {:>8} {:>14} {:>14} {:>14}\n",
+            "series", "points", "last", "min", "max"
+        ));
+    }
+    for s in series {
+        let name = require_str(s, "name", "live.series[]")?;
+        let points = require(s, "points", "live.series[]")?
+            .as_array()
+            .ok_or("snapshot live.series[]: `points` is not an array")?;
+        let mut last = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for p in points {
+            let p = p
+                .as_array()
+                .ok_or("snapshot live.series[]: point is not a [step,value] pair")?;
+            if p.len() != 2 {
+                return Err("snapshot live.series[]: point is not a [step,value] pair".into());
+            }
+            let v = p[1]
+                .as_f64()
+                .ok_or("snapshot live.series[]: value is not a number")?;
+            last = v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if points.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{name:<36} {:>8} {last:>14.2} {min:>14.2} {max:>14.2}\n",
+            points.len()
+        ));
+    }
+    let frames = require(section, "frames", "live")?
+        .as_array()
+        .ok_or("snapshot live: `frames` is not an array")?;
+    if let Some(frame) = frames.last() {
+        let step = require_u64(frame, "step", "live.frames[]")?;
+        let ranks = require_u64(frame, "ranks", "live.frames[]")?;
+        out.push_str(&format!(
+            "\nlatest cluster frame (step {step}, {ranks} rank(s)):\n"
+        ));
+        let cells = require(frame, "cells", "live.frames[]")?
+            .as_object()
+            .ok_or("snapshot live.frames[]: `cells` is not an object")?;
+        for (key, cell) in cells.iter() {
+            let ctx = "live.frames[].cells";
+            out.push_str(&format!(
+                "  {key:<18} min={} max={} sum={} count={} last={}\n",
+                require_f64(cell, "min", ctx)?,
+                require_f64(cell, "max", ctx)?,
+                require_f64(cell, "sum", ctx)?,
+                require_u64(cell, "count", ctx)?,
+                require_f64(cell, "last", ctx)?,
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One health report (v3 `health` entry or a stream line's `health`
+/// object) as a dashboard row.
+fn health_row(report: &Value, out: &mut String) -> Result<(), String> {
+    let ctx = "health[]";
+    let step = require_u64(report, "step", ctx)?;
+    let ranks = require_u64(report, "ranks", ctx)?;
+    let backlog = require_u64(report, "backlog", ctx)?;
+    let trend = require_f64(report, "backlog_trend", ctx)?;
+    let blocked = require_f64(report, "blocked_fraction", ctx)?;
+    let hwm = require_u64(report, "queue_high_water", ctx)?;
+    let exhausted = require_u64(report, "retry_exhausted", ctx)?;
+    let mut flags: Vec<String> = Vec::new();
+    for s in require(report, "signals", ctx)?
+        .as_array()
+        .ok_or("snapshot health[]: `signals` is not an array")?
+    {
+        let kind = require_str(s, "kind", "health[].signals[]")?;
+        flags.push(match kind {
+            "straggler" => format!(
+                "straggler r{} (z={:.2})",
+                require_u64(s, "rank", "health[].signals[]")?,
+                require_f64(s, "z", "health[].signals[]")?
+            ),
+            "backlog_growth" => format!(
+                "backlog +{:.1}/step",
+                require_f64(s, "per_step", "health[].signals[]")?
+            ),
+            "retry_exhaustion" => format!(
+                "retries exhausted x{}",
+                require_u64(s, "in_window", "health[].signals[]")?
+            ),
+            other => other.to_string(),
+        });
+    }
+    let flags = if flags.is_empty() {
+        "ok".to_string()
+    } else {
+        flags.join(", ")
+    };
+    out.push_str(&format!(
+        "{step:>6} {ranks:>5} {backlog:>8} {trend:>+9.2} {:>8} {hwm:>9} {exhausted:>9}  {flags}\n",
+        format!("{:.1}%", blocked * 100.0),
+    ));
+    Ok(())
+}
+
+const HEALTH_HEADER: &str =
+    "  step ranks  backlog     trend blocked%  queue-hw retry-exh  signals\n";
+
+/// Health view (v3 `health` section): one row per frame exchange.
+fn render_health(root: &Value, out: &mut String) -> Result<(), String> {
+    out.push_str("\n=== health (cluster window) ===\n");
+    let Some(section) = root.get("health") else {
+        out.push_str("(version 2 snapshot — no health section)\n");
+        return Ok(());
+    };
+    let reports = section
+        .as_array()
+        .ok_or("snapshot root: `health` is not an array")?;
+    if reports.is_empty() {
+        out.push_str("(no health reports — run with PREDATA_LIVE=1)\n");
+        return Ok(());
+    }
+    out.push_str(HEALTH_HEADER);
+    for report in reports {
+        health_row(report, out)?;
+    }
+    Ok(())
+}
+
+/// Render a rolling JSONL telemetry stream (`PREDATA_LIVE_PATH`) as a
+/// per-step dashboard: one health row per exchange, plus the per-rank
+/// compute spans of the final exchange. Every line must parse — this is
+/// the `predata-report live --check` gate CI runs on the stream a
+/// smoke run produced.
+pub fn render_live_stream_str(text: &str) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str("=== live telemetry stream ===\n");
+    out.push_str(HEALTH_HEADER);
+    let mut exchanges = 0usize;
+    let mut last_line: Option<Value> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("stream line {}: {e}", i + 1))?;
+        let health = require(&v, "health", "stream line")?;
+        health_row(health, &mut out).map_err(|e| format!("stream line {}: {e}", i + 1))?;
+        // The frame must at least parse as an object even when we don't
+        // tabulate it — `--check` means every field a dashboard reads.
+        require(&v, "frame", "stream line")?
+            .as_object()
+            .ok_or_else(|| format!("stream line {}: `frame` is not an object", i + 1))?;
+        exchanges += 1;
+        last_line = Some(v);
+    }
+    if exchanges == 0 {
+        return Err("live stream: no telemetry lines".into());
+    }
+    if let Some(v) = last_line {
+        let per_rank = require(&v, "per_rank", "stream line")?
+            .as_array()
+            .ok_or("stream line: `per_rank` is not an array")?;
+        out.push_str("\nlast exchange, per rank:\n");
+        out.push_str(&format!(
+            "{:>6} {:>14} {:>8} {:>6} {:>9}\n",
+            "rank", "compute", "backlog", "sheds", "truncated"
+        ));
+        for r in per_rank {
+            let ctx = "per_rank[]";
+            out.push_str(&format!(
+                "{:>6} {:>14} {:>8} {:>6} {:>9}\n",
+                require_u64(r, "rank", ctx)?,
+                fmt_ns(require_f64(r, "compute_ns", ctx)? as u64),
+                require_f64(r, "backlog", ctx)?,
+                require_f64(r, "sheds", ctx)?,
+                require_f64(r, "truncated", ctx)?,
+            ));
+        }
+    }
+    out.push_str(&format!("\n({exchanges} exchange(s))\n"));
+    Ok(out)
+}
+
 /// Render a full snapshot (already parsed) into the report text.
 ///
 /// Fails with a descriptive message on any schema mismatch — the
@@ -547,9 +773,9 @@ fn render_perturb(root: &Value, out: &mut String) -> Result<(), String> {
 /// sample so exporter drift is caught at build time.
 pub fn render_snapshot(root: &Value) -> Result<String, String> {
     let version = require_u64(root, "version", "root")?;
-    if !(1..=2).contains(&version) {
+    if !(2..=3).contains(&version) {
         return Err(format!(
-            "unsupported snapshot version {version} (expected 1 or 2)"
+            "unsupported snapshot version {version} (expected 2 or 3)"
         ));
     }
     let cells = parse_steps(root)?;
@@ -560,6 +786,8 @@ pub fn render_snapshot(root: &Value) -> Result<String, String> {
     render_critical_path(&lineage, &mut out);
     render_stragglers(&lineage, 3, &mut out);
     render_perturb(root, &mut out)?;
+    render_live(root, &mut out)?;
+    render_health(root, &mut out)?;
     render_resilience(root, &mut out)?;
     render_counters(root, &mut out)?;
     render_gauges(root, &mut out)?;
@@ -577,8 +805,9 @@ pub fn render_snapshot_str(text: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    /// The sample snapshot shipped for the CI smoke run.
+    /// The sample snapshots shipped for the CI smoke run.
     const SAMPLE: &str = include_str!("../testdata/sample_snapshot.json");
+    const SAMPLE_V3: &str = include_str!("../testdata/sample_snapshot_v3.json");
 
     #[test]
     fn renders_the_checked_in_sample() {
@@ -586,6 +815,17 @@ mod tests {
         assert!(report.contains("per-step stage timing"));
         assert!(report.contains("decode"));
         assert!(report.contains("transport.rdma_get_bytes"));
+    }
+
+    #[test]
+    fn renders_the_checked_in_v3_sample_with_live_views() {
+        let report = render_snapshot_str(SAMPLE_V3).expect("v3 sample must render");
+        assert!(
+            report.contains("live telemetry (windowed)"),
+            "got: {report}"
+        );
+        assert!(report.contains("health (cluster window)"), "got: {report}");
+        assert!(report.contains("straggler"), "got: {report}");
     }
 
     #[test]
@@ -672,21 +912,114 @@ mod tests {
         assert!(!report.contains("chunks truncated"), "got: {report}");
     }
 
+    /// N/N−1 with N=3: version 2 (without live/health) still renders,
+    /// version 1 has aged out of the support window.
     #[test]
-    fn v1_snapshots_without_lineage_still_render() {
-        // Version-1 files predate the lineage/perturb sections; the
-        // reader accepts N and N-1 per the exporter's versioning policy.
-        let report = render_snapshot_str(
-            r#"{"version":1,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#,
-        )
-        .expect("v1 snapshot must render");
+    fn v2_renders_and_v1_has_aged_out() {
+        let v2 = r#"{"version":2,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#;
+        let report = render_snapshot_str(v2).expect("v2 snapshot must render");
         assert!(report.contains("no lineage records"), "got: {report}");
-        assert!(report.contains("version 1 snapshot"), "got: {report}");
+        assert!(report.contains("no live section"), "got: {report}");
+        assert!(report.contains("no health section"), "got: {report}");
+
+        let v1 = r#"{"version":1,"counters":[],"gauges":[],"histograms":[],"steps":[]}"#;
+        let err = render_snapshot_str(v1).unwrap_err();
+        assert!(err.contains("version"), "got: {err}");
+    }
+
+    /// The full v3 round trip: a live registry with the telemetry plane
+    /// configured → to_json → parse → render, live and health included.
+    #[test]
+    fn renders_v3_live_and_health_from_a_live_registry() {
+        use obs::live::{LiveConfig, StepStats, TelemetryFrame};
+        let reg = obs::Registry::new();
+        reg.live().configure(
+            Some(LiveConfig {
+                window: 8,
+                period_steps: 1,
+            }),
+            None,
+        );
+        reg.counter("transport.retries", &[("op", "pull")]).add(2);
+        reg.record_span("decode", 0, 1_000_000);
+        for rank in 0..4u64 {
+            reg.live().step_end(
+                &reg,
+                rank,
+                0,
+                StepStats {
+                    backlog: 2,
+                    // Rank 3 is 50ms; the rest are 40µs — a straggler.
+                    compute_span_ns: if rank == 3 { 50_000_000 } else { 40_000 },
+                    ..Default::default()
+                },
+            );
+        }
+        let frames: Vec<TelemetryFrame> = (0..4)
+            .map(|r| reg.live().local_frame(r, 0).unwrap())
+            .collect();
+        reg.live().ingest_frames(0, &frames).unwrap();
+        let json = reg.snapshot().to_json();
+        reg.live().configure(None, None);
+
+        let report = render_snapshot_str(&json).expect("v3 snapshot must render");
+        assert!(report.contains("window 8 step(s)"), "got: {report}");
+        assert!(report.contains("transport.retries"), "got: {report}");
+        assert!(report.contains("latest cluster frame"), "got: {report}");
+        assert!(report.contains("straggler r3"), "got: {report}");
+    }
+
+    /// The JSONL stream renderer consumes exactly what the live plane
+    /// writes to `PREDATA_LIVE_PATH`, and rejects non-JSON lines.
+    #[test]
+    fn renders_a_live_stream_and_rejects_garbage() {
+        use obs::live::{LiveConfig, StepStats, TelemetryFrame};
+        let path =
+            std::env::temp_dir().join(format!("report-live-stream-{}.jsonl", std::process::id()));
+        let reg = obs::Registry::new();
+        reg.live()
+            .configure(Some(LiveConfig::default()), Some(path.clone()));
+        for step in 0..2u64 {
+            for rank in 0..3u64 {
+                reg.live().step_end(
+                    &reg,
+                    rank,
+                    step,
+                    StepStats {
+                        backlog: 1 + rank,
+                        compute_span_ns: 10_000,
+                        ..Default::default()
+                    },
+                );
+            }
+            let frames: Vec<TelemetryFrame> = (0..3)
+                .map(|r| reg.live().local_frame(r, step).unwrap())
+                .collect();
+            reg.live().ingest_frames(step, &frames).unwrap();
+        }
+        reg.live().configure(None, None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let dashboard = render_live_stream_str(&text).expect("stream must render");
+        assert!(
+            dashboard.contains("live telemetry stream"),
+            "got: {dashboard}"
+        );
+        assert!(dashboard.contains("(2 exchange(s))"), "got: {dashboard}");
+        assert!(
+            dashboard.contains("last exchange, per rank"),
+            "got: {dashboard}"
+        );
+
+        assert!(render_live_stream_str("").is_err(), "empty stream fails");
+        let err = render_live_stream_str("not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
     }
 
     #[test]
     fn rejects_missing_sections_with_a_named_key() {
-        let err = render_snapshot_str(r#"{"version":1}"#).unwrap_err();
+        let err = render_snapshot_str(r#"{"version":2}"#).unwrap_err();
         assert!(err.contains("steps"), "got: {err}");
     }
 

@@ -105,15 +105,37 @@ impl AdmitControl {
     }
 
     /// Is a step with `backlog` gathered chunks and prior-step
-    /// simulation blocked-fraction `blocked` overloaded?
+    /// simulation blocked-fraction `blocked` overloaded? Thin wrapper
+    /// over [`AdmitControl::overloaded_signals`] so the raw-value and
+    /// signal paths can never disagree.
     pub fn overloaded(&self, backlog: usize, blocked: Option<f64>) -> bool {
-        if self.queue_hwm.is_some_and(|hwm| backlog > hwm) {
-            return true;
+        let mut signals = vec![obs::live::HealthSignal::QueuePressure {
+            rank: 0,
+            backlog: backlog as u64,
+        }];
+        if let Some(fraction) = blocked {
+            signals.push(obs::live::HealthSignal::SimulationBlocked { fraction });
         }
-        match (self.blocked, blocked) {
-            (Some(threshold), Some(frac)) => frac > threshold,
+        self.overloaded_signals(&signals)
+    }
+
+    /// Is a rank presenting these [`obs::live::HealthSignal`]s
+    /// overloaded? This is the decision point the staging loop calls:
+    /// the thresholds apply to the *typed signal values* — the same
+    /// numbers the raw path carried, so a shedding decision is
+    /// byte-identical whether the live plane is on or off. Cluster
+    /// signals (straggler, backlog growth, retry exhaustion) are
+    /// advisory context for now; they don't trigger sheds.
+    pub fn overloaded_signals(&self, signals: &[obs::live::HealthSignal]) -> bool {
+        signals.iter().any(|signal| match *signal {
+            obs::live::HealthSignal::QueuePressure { backlog, .. } => {
+                self.queue_hwm.is_some_and(|hwm| backlog as usize > hwm)
+            }
+            obs::live::HealthSignal::SimulationBlocked { fraction } => {
+                self.blocked.is_some_and(|threshold| fraction > threshold)
+            }
             _ => false,
-        }
+        })
     }
 
     /// Whether `op` is shed while overloaded.
@@ -165,5 +187,59 @@ mod tests {
         assert!(!a.overloaded(1000, None), "no backlog threshold, no stat");
         assert!(!a.overloaded(0, Some(0.25)));
         assert!(a.overloaded(0, Some(0.26)));
+    }
+
+    /// The signal path must apply exactly the thresholds the raw path
+    /// did — same strict `>`, same fields — and ignore cluster-level
+    /// advisory signals.
+    #[test]
+    fn signal_triggers_match_raw_triggers() {
+        use obs::live::HealthSignal;
+        let a = AdmitControl::parse("queue_hwm=4,blocked=0.25,defer=x")
+            .unwrap()
+            .unwrap();
+        let at_the_mark = [
+            HealthSignal::QueuePressure {
+                rank: 1,
+                backlog: 4,
+            },
+            HealthSignal::SimulationBlocked { fraction: 0.25 },
+        ];
+        assert!(
+            !a.overloaded_signals(&at_the_mark),
+            "at the mark is not over"
+        );
+        assert!(a.overloaded_signals(&[HealthSignal::QueuePressure {
+            rank: 1,
+            backlog: 5,
+        }]));
+        assert!(a.overloaded_signals(&[HealthSignal::SimulationBlocked { fraction: 0.26 }]));
+        // Advisory cluster signals never shed on their own.
+        let advisory = [
+            HealthSignal::Straggler { rank: 2, z: 99.0 },
+            HealthSignal::BacklogGrowth { per_step: 1e9 },
+            HealthSignal::RetryExhaustion { in_window: 1000 },
+        ];
+        assert!(!a.overloaded_signals(&advisory));
+        assert!(!a.overloaded_signals(&[]));
+
+        // Cross-check: the raw wrapper and the signal path agree on a
+        // grid of inputs.
+        for backlog in [0usize, 4, 5, 100] {
+            for blocked in [None, Some(0.1), Some(0.25), Some(0.9)] {
+                let mut signals = vec![HealthSignal::QueuePressure {
+                    rank: 0,
+                    backlog: backlog as u64,
+                }];
+                if let Some(fraction) = blocked {
+                    signals.push(HealthSignal::SimulationBlocked { fraction });
+                }
+                assert_eq!(
+                    a.overloaded(backlog, blocked),
+                    a.overloaded_signals(&signals),
+                    "backlog={backlog} blocked={blocked:?}"
+                );
+            }
+        }
     }
 }

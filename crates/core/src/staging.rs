@@ -438,9 +438,14 @@ impl StagingRank {
 
         // --- Overload admission control (degradation-ladder rung 4) ---
         //
-        // Backlog for the step is known the moment the gather closes;
-        // the prior step's simulation blocked-fraction comes from the
-        // perturbation monitor (populated under `PREDATA_LINEAGE`).
+        // The decision consumes typed health signals, not raw values:
+        // `obs::live::local_signals` carries this rank's queue pressure
+        // (known the moment the gather closes) and the prior step's
+        // simulation blocked-fraction (perturbation monitor, populated
+        // under `PREDATA_LINEAGE`), plus — when the live plane is on —
+        // the latest cluster-level advisories. The signal values are
+        // the same numbers the raw path used, so the shed decision (and
+        // every data byte downstream) is identical with the plane off.
         // Overload sheds the configured non-critical operators for this
         // step: their mappers become no-ops (the decode+map stage does
         // none of their work) while their collective phases still run,
@@ -449,15 +454,9 @@ impl StagingRank {
         // than back-pressuring the simulation.
         let mut deferred: Vec<String> = Vec::new();
         if let Some(admit) = &self.cfg.admit {
-            let prior_blocked = step.checked_sub(1).and_then(|prev| {
-                obs::global()
-                    .perturb()
-                    .snapshot()
-                    .iter()
-                    .find(|(s, _)| *s == prev)
-                    .and_then(|(_, stat)| stat.blocked_fraction())
-            });
-            if admit.overloaded(pending.len(), prior_blocked) {
+            let signals =
+                obs::live::local_signals(self.comm.rank() as u64, step, pending.len() as u64);
+            if admit.overloaded_signals(&signals) {
                 deferred = self
                     .ops
                     .iter()
@@ -508,6 +507,12 @@ impl StagingRank {
         let mut truncated = Vec::new();
         let mut pull_err: Option<TransportError> = None;
         let mut decode_err: Option<StagingError> = None;
+        // Wall time of the whole rank-local phase (pull + decode + map).
+        // This is the span the live plane's straggler detector compares
+        // across ranks: stage 4b below is collective — every rank waits
+        // for the slowest inside it — so only 4a carries a per-rank
+        // imbalance signal.
+        let map_phase_started = Instant::now();
         if n_chunks > 0 {
             // Map state frozen by `initialize`, shareable across workers.
             // Operators shed by admission control get a no-op mapper:
@@ -826,6 +831,11 @@ impl StagingRank {
                 }
             }
         }
+        let compute_span_ns = if n_chunks > 0 {
+            map_phase_started.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
 
         // --- Stage 4b: combine / shuffle / reduce / finalize per op ---
         let mut results = Vec::with_capacity(self.ops.len());
@@ -841,6 +851,35 @@ impl StagingRank {
                 obs::lineage::record(src as u64, step, obs::lineage::Stage::Shuffled);
                 obs::lineage::record(src as u64, step, obs::lineage::Stage::Reduced);
                 obs::lineage::record(src as u64, step, obs::lineage::Stage::Written);
+            }
+        }
+
+        // --- Live telemetry tick (PREDATA_LIVE; default off) ---
+        //
+        // One sampler tick per rank per step, and — when a frame
+        // exchange is due — an `allgather` of this rank's POD frame.
+        // The collective only exists when the plane is enabled, so a
+        // disabled run's collective count (and the deterministic tests
+        // pinned to it) is untouched; every rank runs every step from 0
+        // regardless of membership (inactive ranks idle in the
+        // collectives), so the exchange is symmetric by construction.
+        if obs::live::enabled() {
+            let rank = self.comm.rank() as u64;
+            obs::live::step_end(
+                rank,
+                step,
+                obs::live::StepStats {
+                    backlog: n_chunks as u64,
+                    compute_span_ns,
+                    shed_ops: deferred.len() as u64,
+                    truncated: truncated.len() as u64,
+                },
+            );
+            if obs::live::frame_due(step) {
+                if let Some(local) = obs::live::local_frame(rank, step) {
+                    let frames = self.comm.allgather(local);
+                    obs::live::ingest_frames(step, &frames);
+                }
             }
         }
 
@@ -931,6 +970,7 @@ impl StagingArea {
         if let Err(e) = obs::trace::flush() {
             eprintln!("warning: PREDATA_TRACE flush failed: {e}");
         }
+        obs::live::flush();
         reports
     }
 }

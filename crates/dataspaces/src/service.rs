@@ -365,6 +365,13 @@ impl QueryService {
         &self.inner.space
     }
 
+    /// Jobs admitted but not yet picked up by a worker — the backlog
+    /// the live telemetry plane samples (also mirrored into the
+    /// `dataspaces.query_queue_depth` gauge at submit and serve).
+    pub fn backlog(&self) -> usize {
+        self.inner.jobs.len()
+    }
+
     /// Admit a query with the configured default deadline.
     pub fn submit(&self, var: &str, version: u64, kind: QueryKind) -> Result<QueryTicket, DsError> {
         self.submit_with_deadline(var, version, kind, self.inner.cfg.default_deadline)
@@ -400,7 +407,10 @@ impl QueryService {
         });
         match inner.jobs.try_submit(job) {
             Ok(()) => {
-                inner.depth.record_max(inner.jobs.len() as i64);
+                // `set`, not `record_max`: the live sampler reads the
+                // gauge's *current* value between steps, so submission
+                // must keep it fresh (set also maintains the HWM).
+                inner.depth.set(inner.jobs.len() as i64);
                 Ok(QueryTicket { id, rx })
             }
             Err(SubmitError::Full(_)) => Err(DsError::QueueFull),
@@ -701,6 +711,19 @@ mod tests {
         assert_eq!(resp.version, 0);
         let expected = ds.get("field", 0, &q, Duration::from_secs(1)).unwrap();
         assert_eq!(resp.output.into_data(), expected);
+    }
+
+    /// The backlog accessor the live plane samples: drained queue reads
+    /// zero, and the depth gauge stays current across submit/serve.
+    #[test]
+    fn backlog_tracks_admission_queue() {
+        let ds = staged_space();
+        let svc = service(&ds, 2);
+        let q = Region::new(vec![0, 0], vec![8, 8]);
+        let ticket = svc.submit("field", 0, QueryKind::Range(q)).unwrap();
+        ticket.wait(Duration::from_secs(5)).unwrap();
+        svc.shutdown();
+        assert_eq!(svc.backlog(), 0, "served queue drains to zero");
     }
 
     #[test]

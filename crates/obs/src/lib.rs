@@ -39,6 +39,13 @@
 //!   [`perturb`]ation monitor. Their records ride the same snapshot
 //!   (schema version 2) and, when tracing is on, appear as per-chunk
 //!   flow arrows in the Chrome trace.
+//! * `PREDATA_LIVE` — off by default; `1` / `on` / `true` or a
+//!   `window=64,period_steps=1` spec enables the [`live`] telemetry
+//!   plane: windowed per-step series, cross-rank [`live::TelemetryFrame`]
+//!   exchange, and [`live::HealthReport`] evaluation, exported in the
+//!   snapshot (schema version 3) and — with `PREDATA_LIVE_PATH=path` —
+//!   as a rolling JSONL stream a dashboard can tail mid-run. Disabled,
+//!   every entry point is one relaxed atomic load.
 //!
 //! The full `PREDATA_*` reference — including the transport fault/retry
 //! and client degradation knobs whose counters land in this registry —
@@ -46,8 +53,8 @@
 //!
 //! All variables are read once, lazily; tests use the programmatic
 //! overrides ([`set_enabled`], [`set_metrics_export_path`],
-//! [`lineage::set_enabled`], [`trace::install`]) instead of the
-//! process environment.
+//! [`lineage::set_enabled`], [`live::configure`], [`trace::install`])
+//! instead of the process environment.
 //!
 //! # Example
 //!
@@ -65,6 +72,7 @@
 //! ```
 
 pub mod lineage;
+pub mod live;
 mod metrics;
 pub mod perturb;
 mod span;

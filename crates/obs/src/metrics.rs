@@ -29,6 +29,42 @@ fn log2_bucket(v: u64) -> usize {
     }
 }
 
+/// Inclusive upper bound of bucket `b`: 0 for the zero bucket,
+/// `u64::MAX` for the saturated top bucket (it absorbs everything from
+/// `2^62` up, because [`log2_bucket`] clamps).
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b == HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Nearest-rank quantile over dense log₂ bucket counts: the inclusive
+/// upper bound of the bucket holding the `⌈q·count⌉`-th value — an
+/// upper estimate, never below the true quantile. `None` for an empty
+/// histogram or `q` outside `[0, 1]`.
+pub(crate) fn quantile_from_buckets(counts: &[u64; HIST_BUCKETS], q: f64) -> Option<u64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (b, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return Some(bucket_hi(b));
+        }
+    }
+    Some(bucket_hi(HIST_BUCKETS - 1))
+}
+
 /// Fully-qualified metric identity: name + sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct MetricKey {
@@ -162,6 +198,19 @@ impl Histogram {
         self.inner.sum.load(Ordering::Relaxed)
     }
 
+    /// Nearest-rank quantile estimate (p50 = `quantile(0.5)`): the
+    /// inclusive upper bound of the log₂ bucket holding the
+    /// `⌈q·count⌉`-th value, so at most one bucket width above the true
+    /// quantile and never below it. `None` for an empty histogram or
+    /// `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.dense_buckets(), q)
+    }
+
+    fn dense_buckets(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|b| self.inner.buckets[b].load(Ordering::Relaxed))
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count(),
@@ -193,6 +242,25 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Nearest-rank quantile estimate over the sparse buckets; same
+    /// semantics as [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if !(0.0..=1.0).contains(&q) || self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(_, hi, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return Some(hi);
+            }
+        }
+        self.buckets.last().map(|&(_, hi, _)| hi)
+    }
+}
+
 /// Aggregate of one `(stage, step)` span family.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStat {
@@ -217,6 +285,9 @@ pub struct Registry {
     /// Per-step simulation perturbation stats (same gate; see
     /// [`crate::perturb`]).
     perturb: crate::perturb::PerturbTable,
+    /// The live telemetry plane (windowed series, cross-rank frames,
+    /// health; gated by `PREDATA_LIVE`, see [`crate::live`]).
+    live: crate::live::LivePlane,
 }
 
 macro_rules! resolve {
@@ -268,6 +339,54 @@ impl Registry {
     /// The per-step perturbation table owned by this registry.
     pub fn perturb(&self) -> &crate::perturb::PerturbTable {
         &self.perturb
+    }
+
+    /// The live telemetry plane owned by this registry.
+    pub fn live(&self) -> &crate::live::LivePlane {
+        &self.live
+    }
+
+    /// Sum of one counter across all its label sets. The live sampler
+    /// watches by name; sites split the same counter by `op`/`kind`
+    /// labels.
+    pub(crate) fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// `(value, high_water)` of the first gauge with this name (the
+    /// watched gauges are label-free). `None` if never registered.
+    pub(crate) fn gauge_peek(&self, name: &str) -> Option<(i64, i64)> {
+        self.gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .find(|(k, _)| k.name == name)
+            .map(|(_, g)| (g.get(), g.max()))
+    }
+
+    /// Quantile estimates of one histogram, bucket counts merged across
+    /// label sets. `None` if the name was never registered; inner
+    /// `None`s mean the merged histogram is empty.
+    pub(crate) fn histogram_quantiles(&self, name: &str, qs: [f64; 3]) -> Option<[Option<u64>; 3]> {
+        let guard = self
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut counts = [0u64; HIST_BUCKETS];
+        let mut found = false;
+        for (_, h) in guard.iter().filter(|(k, _)| k.name == name) {
+            found = true;
+            for (acc, c) in counts.iter_mut().zip(h.dense_buckets()) {
+                *acc += c;
+            }
+        }
+        found.then(|| qs.map(|q| quantile_from_buckets(&counts, q)))
     }
 
     /// Fold one span duration into the `(stage, step)` aggregate.
@@ -324,6 +443,7 @@ impl Registry {
             spans,
             lineage: self.lineage.snapshot(),
             perturb: self.perturb.snapshot(),
+            live: self.live.snap(),
         }
     }
 }
@@ -341,6 +461,9 @@ pub struct Snapshot {
     lineage: Vec<crate::lineage::ChunkLineage>,
     /// `(step, stat)` perturbation rows, step-sorted. Same gate.
     perturb: Vec<(u64, crate::perturb::PerturbStat)>,
+    /// Live telemetry plane state (series windows, cluster frames,
+    /// health reports). `None` unless `PREDATA_LIVE` was on.
+    live: Option<crate::live::LiveSnap>,
 }
 
 impl Snapshot {
@@ -401,11 +524,23 @@ impl Snapshot {
         &self.perturb
     }
 
+    /// The live plane's windowed state; `None` unless `PREDATA_LIVE`
+    /// was on.
+    pub fn live(&self) -> Option<&crate::live::LiveSnap> {
+        self.live.as_ref()
+    }
+
+    /// Health reports from the live plane, oldest first; empty unless
+    /// `PREDATA_LIVE` was on.
+    pub fn health(&self) -> &[crate::live::HealthReport] {
+        self.live.as_ref().map_or(&[], |l| l.health.as_slice())
+    }
+
     /// Render the snapshot as the versioned JSON schema `predata-report`
     /// consumes (see DESIGN.md §obs):
     ///
     /// ```json
-    /// {"version":2,
+    /// {"version":3,
     ///  "counters":[{"name":"…","labels":{…},"value":0}],
     ///  "gauges":[{"name":"…","labels":{…},"value":0,"max":0}],
     ///  "histograms":[{"name":"…","labels":{…},"count":0,"sum":0,
@@ -416,7 +551,16 @@ impl Snapshot {
     ///              "events":[{"stage":"packed","at_ns":0,
     ///                         "bytes":0,"wait_ns":0}]}],
     ///  "perturb":[{"step":0,"compute_ns":0,"blocked_ns":0,
-    ///              "pull_bytes":0,"pulls":0}]}
+    ///              "pull_bytes":0,"pulls":0}],
+    ///  "live":{"window":0,"period_steps":0,
+    ///          "series":[{"name":"…","points":[[step,value]]}],
+    ///          "frames":[{"step":0,"ranks":0,
+    ///                     "cells":{"backlog":{"min":0,"max":0,"sum":0,
+    ///                              "count":0,"last":0}}}]},
+    ///  "health":[{"step":0,"ranks":0,"blocked_fraction":0,"backlog":0,
+    ///             "queue_high_water":0,"backlog_trend":0,
+    ///             "retry_exhausted":0,"straggler_rank":null,
+    ///             "signals":[{"kind":"…"}]}]}
     /// ```
     ///
     /// Versioning policy: schema changes are additive (new optional
@@ -424,10 +568,11 @@ impl Snapshot {
     /// when a section is added, and readers accept version N and N−1.
     /// Version 2 added `lineage` and `perturb` — both optional, and
     /// omitted fields (`bytes`, `wait_ns`) mean "the site didn't
-    /// measure this".
+    /// measure this". Version 3 added `live` and `health` — both empty
+    /// (zero window, no reports) unless `PREDATA_LIVE` was on.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\"version\":2,\"counters\":[");
+        out.push_str("{\"version\":3,\"counters\":[");
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -521,6 +666,18 @@ impl Snapshot {
                  \"pull_bytes\":{},\"pulls\":{}}}",
                 stat.compute_ns, stat.blocked_ns, stat.pull_bytes, stat.pulls
             ));
+        }
+        out.push_str("],\"live\":");
+        match &self.live {
+            Some(live) => live.push_json(&mut out),
+            None => out.push_str("{\"window\":0,\"period_steps\":0,\"series\":[],\"frames\":[]}"),
+        }
+        out.push_str(",\"health\":[");
+        for (i, report) in self.health().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            report.push_json(&mut out);
         }
         out.push_str("]}");
         out
@@ -655,7 +812,7 @@ mod tests {
         reg.histogram("h", &[]).record(3);
         reg.record_span("pull", 0, 42);
         let json = reg.snapshot().to_json();
-        assert!(json.starts_with("{\"version\":2,"));
+        assert!(json.starts_with("{\"version\":3,"));
         assert!(
             json.contains("\"counters\":[{\"name\":\"c\",\"labels\":{\"k\":\"v\"},\"value\":1}]")
         );
@@ -666,9 +823,74 @@ mod tests {
         assert!(json.contains(
             "\"steps\":[{\"step\":0,\"stages\":[{\"stage\":\"pull\",\"count\":1,\"total_ns\":42,\"max_ns\":42}]}]"
         ));
-        // v2 sections are present even when empty.
+        // v2/v3 sections are present even when empty.
         assert!(json.contains("\"lineage\":[]"));
-        assert!(json.ends_with("\"perturb\":[]}"));
+        assert!(
+            json.contains("\"live\":{\"window\":0,\"period_steps\":0,\"series\":[],\"frames\":[]}")
+        );
+        assert!(json.ends_with("\"health\":[]}"));
+    }
+
+    #[test]
+    fn quantiles_over_log2_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        // Empty histogram and out-of-range q: no estimate.
+        assert_eq!(h.quantile(0.5), None);
+        h.record(5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // Single bucket: every quantile is its upper bound.
+        h.record(5);
+        h.record(6);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7), "q={q}");
+        }
+        // Spread: p50 stays in the low bucket, p99 climbs to the top
+        // recorded one.
+        for _ in 0..97 {
+            h.record(1);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.99), Some(7));
+        assert_eq!(h.quantile(1.0), Some((1 << 21) - 1));
+        // Snapshot view agrees.
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(hs.quantile(0.5), Some(1));
+        assert_eq!(hs.quantile(1.0), Some((1 << 21) - 1));
+
+        // Zero values land in bucket 0 (quantile 0), and the saturated
+        // top bucket reports u64::MAX — it has no tighter bound.
+        let h = reg.histogram("edge", &[]);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn registry_lookup_helpers_merge_label_sets() {
+        let reg = Registry::new();
+        reg.counter("retries", &[("op", "pull")]).add(3);
+        reg.counter("retries", &[("op", "recv")]).add(4);
+        assert_eq!(reg.counter_total("retries"), 7);
+        assert_eq!(reg.counter_total("missing"), 0);
+
+        assert_eq!(reg.gauge_peek("depth"), None);
+        reg.gauge("depth", &[]).set(9);
+        reg.gauge("depth", &[]).set(2);
+        assert_eq!(reg.gauge_peek("depth"), Some((2, 9)));
+
+        assert_eq!(reg.histogram_quantiles("lat", [0.5, 0.95, 0.99]), None);
+        reg.histogram("lat", &[("op", "a")]).record(1);
+        reg.histogram("lat", &[("op", "b")]).record(1 << 10);
+        let qs = reg
+            .histogram_quantiles("lat", [0.5, 0.95, 0.99])
+            .expect("registered");
+        assert_eq!(qs[0], Some(1), "p50 merges both label sets");
+        assert_eq!(qs[2], Some((1 << 11) - 1));
     }
 
     #[test]

@@ -80,7 +80,8 @@ impl PerturbTable {
         });
     }
 
-    /// Copy out `(step, stat)` rows, sorted by step.
+    /// Copy out `(step, stat)` rows, **sorted by step** — report views
+    /// and the live sampler rely on the order and must not re-sort.
     pub fn snapshot(&self) -> Vec<(u64, PerturbStat)> {
         self.steps
             .lock()
@@ -88,6 +89,16 @@ impl PerturbTable {
             .iter()
             .map(|(&step, &stat)| (step, stat))
             .collect()
+    }
+
+    /// One step's stat, without copying the whole table — the per-step
+    /// lookup admission control and the live sampler make each step.
+    pub fn stat_for(&self, step: u64) -> Option<PerturbStat> {
+        self.steps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&step)
+            .copied()
     }
 }
 
@@ -154,6 +165,32 @@ mod tests {
         );
         assert_eq!(snap[1].1.pull_bytes, 4096);
         assert_eq!(snap[1].1.pulls, 1);
+    }
+
+    /// Regression: rows must come out step-sorted no matter the
+    /// insertion order — consumers (report views, the live sampler)
+    /// index and scan without re-sorting.
+    #[test]
+    fn snapshot_rows_are_step_sorted() {
+        let t = PerturbTable::default();
+        for step in [9u64, 2, 17, 0, 5] {
+            t.update(step, |s| s.compute_ns += step + 1);
+        }
+        let snap = t.snapshot();
+        let steps: Vec<u64> = snap.iter().map(|&(s, _)| s).collect();
+        assert_eq!(steps, vec![0, 2, 5, 9, 17]);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn stat_for_looks_up_without_copying_the_table() {
+        let t = PerturbTable::default();
+        t.update(3, |s| s.blocked_ns += 40);
+        t.update(3, |s| s.compute_ns += 60);
+        let stat = t.stat_for(3).expect("recorded step");
+        assert_eq!(stat.blocked_ns, 40);
+        assert!((stat.blocked_fraction().unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(t.stat_for(4), None);
     }
 
     #[test]

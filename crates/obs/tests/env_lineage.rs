@@ -37,7 +37,7 @@ fn lineage_env_enables_recording_and_v2_export() {
     assert_eq!(stat.pulls, 1);
 
     let json = snap.to_json();
-    assert!(json.starts_with("{\"version\":2,"));
+    assert!(json.starts_with("{\"version\":3,"));
     assert!(json.contains("\"src\":5,\"step\":2"));
     assert!(json.contains("\"pull_bytes\":1024"));
 

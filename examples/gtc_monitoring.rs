@@ -184,5 +184,25 @@ fn main() {
             snap.lineage().len()
         );
     }
+
+    // Live telemetry plane (PREDATA_LIVE): the latest cluster health
+    // report from the last frame exchange. With PREDATA_LIVE_PATH set,
+    // the full per-step stream renders via `predata-report live`.
+    if let Some(health) = predata::obs::live::latest_health() {
+        let straggler = match health.straggler {
+            Some((rank, z)) => format!("straggler r{rank} (z={z:.2})"),
+            None => "no straggler".into(),
+        };
+        println!(
+            "live health @ step {}: {} rank(s), backlog {} (trend {:+.1}/step), \
+             queue high-water {}, retries exhausted {}, {straggler}",
+            health.step,
+            health.ranks,
+            health.backlog,
+            health.backlog_trend,
+            health.queue_high_water,
+            health.retry_exhausted
+        );
+    }
     std::fs::remove_dir_all(&out_dir).ok();
 }

@@ -16,7 +16,7 @@
 //! override of `PREDATA_METRICS`: the measurement runs pin the export
 //! path to `None` (no snapshot I/O in the timed region regardless of
 //! the ambient environment), then a final run points it at a real file
-//! and asserts the version-2 snapshot lands there.
+//! and asserts the current-version snapshot lands there.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -128,7 +128,7 @@ fn metrics_overhead_stays_within_budget() {
     );
 
     // With the measurement done, flip the override to a real path: one
-    // more run must export a version-2 snapshot there at join().
+    // more run must export a current-version snapshot there at join().
     let snap_path = dir.join("override-snapshot.json");
     predata::obs::set_metrics_export_path(Some(snap_path.clone()));
     predata::obs::set_enabled(true);
@@ -138,7 +138,7 @@ fn metrics_overhead_stays_within_budget() {
     let text = std::fs::read_to_string(&snap_path)
         .expect("join() exports a snapshot to the overridden path");
     let root: serde_json::Value = serde_json::from_str(&text).expect("exported snapshot parses");
-    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(3));
 
     std::fs::remove_dir_all(&dir).ok();
 }

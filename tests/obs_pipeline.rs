@@ -181,7 +181,7 @@ fn pipeline_emits_snapshot_and_perfetto_trace() {
     let snap_path = out_dir.join("snapshot.json");
     std::fs::write(&snap_path, &json).unwrap();
     let root = serde_json::from_str(&json).expect("snapshot JSON parses");
-    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(3));
     let steps = root
         .get("steps")
         .and_then(|v| v.as_array())
